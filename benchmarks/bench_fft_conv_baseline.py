@@ -1,0 +1,98 @@
+"""§2.3 baseline: LeCun FFT convolution vs im2col vs block-circulant CONV.
+
+The paper's related-work argument, measured: FFT convolution gives no
+weight compression and *adds* spectrum storage for small filters, while
+block-circulant CONV compresses weights by k and cuts operations. Also
+times the three kernels on equal geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import block_circulant_conv_work
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.models.descriptors import ConvSpec
+from repro.nn import BlockCirculantConv2D, Conv2D, FFTConv2D
+from repro.nn.fft_conv import fft_conv_extra_storage_factor
+
+from conftest import report
+
+
+GEOMETRY = dict(in_channels=32, out_channels=32, field=3, padding=1)
+IMAGE = (4, 32, 16, 16)
+
+
+def run_fft_conv_comparison() -> ExperimentTable:
+    table = ExperimentTable(
+        "fft_conv_baseline", "LeCun FFT conv [52] vs block-circulant CONV"
+    )
+    conv = Conv2D(seed=0, **GEOMETRY)
+    fft_conv = FFTConv2D(
+        GEOMETRY["in_channels"], GEOMETRY["out_channels"],
+        GEOMETRY["field"], padding=GEOMETRY["padding"], seed=0,
+    )
+    circulant = BlockCirculantConv2D(block_size=8, seed=0, **GEOMETRY)
+
+    table.add("im2col conv weights", conv.weight.size, "params")
+    table.add(
+        "FFT conv weights", fft_conv.weight.size, "params",
+        band=BandCheck(low=conv.weight.size),
+        note="§2.3: no weight compression",
+    )
+    table.add(
+        "FFT conv spectrum storage factor",
+        fft_conv_extra_storage_factor(16, 16, 3), "x",
+        band=BandCheck(low=2.0),
+        note="§2.3: 'additional storage space is needed'",
+    )
+    table.add(
+        "block-circulant weights", circulant.weight.size, "params",
+        band=BandCheck(high=conv.weight.size / 4),
+        note="compression by ~k",
+    )
+    spec = ConvSpec("conv", 32, 32, 3, in_hw=(16, 16), padding=1)
+    dense_ops = 2 * spec.macs
+    circulant_ops = block_circulant_conv_work(spec, 8).total_real_ops
+    table.add(
+        "block-circulant op reduction", dense_ops / circulant_ops, "x",
+        band=BandCheck(low=1.5),
+        note="asymptotic speedup, which [52] lacks",
+    )
+    # Numerical agreement of all three on the same expanded filters.
+    x = np.random.default_rng(0).normal(size=IMAGE)
+    fft_conv.weight.value = conv.weight.value.copy()
+    fft_conv.bias.value = conv.bias.value.copy()
+    agreement = float(
+        np.max(np.abs(conv.forward(x) - fft_conv.forward(x)))
+    )
+    table.add("im2col vs FFT conv max |diff|", agreement, "",
+              band=BandCheck(high=1e-8))
+    return table
+
+
+def test_fft_conv_comparison(benchmark):
+    table = benchmark.pedantic(
+        run_fft_conv_comparison, rounds=1, iterations=1
+    )
+    report(table)
+
+
+@pytest.mark.parametrize(
+    "layer_name", ["im2col", "fft", "block_circulant"]
+)
+def test_conv_kernel_timing(benchmark, layer_name):
+    """Wall-clock of the three CONV kernels on identical geometry."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=IMAGE)
+    if layer_name == "im2col":
+        layer = Conv2D(seed=0, **GEOMETRY)
+    elif layer_name == "fft":
+        layer = FFTConv2D(
+            GEOMETRY["in_channels"], GEOMETRY["out_channels"],
+            GEOMETRY["field"], padding=GEOMETRY["padding"], seed=0,
+        )
+    else:
+        layer = BlockCirculantConv2D(block_size=8, seed=0, **GEOMETRY)
+    benchmark(layer.forward, x)

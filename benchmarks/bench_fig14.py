@@ -1,0 +1,17 @@
+"""Fig 14: end-to-end FPGA throughput / efficiency vs IBM TrueNorth.
+
+Regenerates the MNIST / CIFAR-10 / SVHN comparison; asserts the win/lose
+pattern (CirCNN wins MNIST and SVHN, TrueNorth wins CIFAR-10) and the
+small-FFT under-utilisation mechanism behind the CIFAR-10 loss.
+"""
+
+from repro.experiments.fig14 import run_fig14
+
+from conftest import report
+
+
+def test_fig14_truenorth_comparison(benchmark):
+    table = benchmark(run_fig14)
+    report(table)
+    assert table.row("cifar10 throughput vs TrueNorth").measured < 1.0
+    assert table.row("mnist throughput vs TrueNorth").measured > 1.0

@@ -1,0 +1,19 @@
+"""Fig 15: ASIC synthesis comparison (45 nm, plus near-threshold 4-bit).
+
+Regenerates the ASIC scatter: >= 6x energy efficiency over the best
+published reference, ~17x more from the near-threshold 4-bit point
+(~102x total), and the 570x / 9,690x Jetson TX1 ratios.
+"""
+
+from repro.experiments.fig15 import run_fig15
+
+from conftest import report
+
+
+def test_fig15_asic_comparison(benchmark):
+    table = benchmark(run_fig15)
+    report(table)
+    base = table.row("EE improvement vs best (ISSCC17_ST)").measured
+    total = table.row("total improvement vs best").measured
+    assert base >= 6.0
+    assert total >= 70.0

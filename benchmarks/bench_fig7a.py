@@ -1,0 +1,16 @@
+"""Fig 7(a): FC-layer storage savings + §3.4 whole-model reduction.
+
+Regenerates the per-dataset storage-saving bars (400x-4000+x band) and the
+30-50x whole-model claim. Pure shape arithmetic, so the benchmark measures
+the accounting path itself.
+"""
+
+from repro.experiments.fig7 import run_fig7a
+
+from conftest import report
+
+
+def test_fig7a_storage_savings(benchmark):
+    table = benchmark(run_fig7a)
+    report(table)
+    assert table.row("max FC saving").measured >= 400.0

@@ -1,0 +1,19 @@
+"""Fig 7(b): test accuracy, dense baseline vs block-circulant FC layers.
+
+Trains a dense and a block-circulant network per dataset with identical
+hyper-parameters on synthetic data hard enough that capacity loss would
+show, and asserts the accuracy gap stays within the paper's "negligible
+(1-2%)" claim. One full training round per benchmark run.
+"""
+
+from repro.experiments.fig7 import run_fig7b
+
+from conftest import report
+
+
+def test_fig7b_accuracy_parity(benchmark):
+    table = benchmark.pedantic(run_fig7b, rounds=1, iterations=1)
+    report(table)
+    for dataset in ("mnist", "cifar10", "svhn"):
+        drop = table.row(f"{dataset} accuracy drop").measured
+        assert drop <= 0.06, f"{dataset}: accuracy drop {drop:.3f} too large"

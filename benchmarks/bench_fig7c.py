@@ -1,0 +1,16 @@
+"""Fig 7(c): whole-model storage saving with block-circulant FC + CONV.
+
+Regenerates the whole-model bars and the comparison against Han et al.'s
+pruning ratios (12x LeNet-5, 9x AlexNet), which CirCNN must beat.
+"""
+
+from repro.experiments.fig7 import run_fig7c
+
+from conftest import report
+
+
+def test_fig7c_whole_model_savings(benchmark):
+    table = benchmark(run_fig7c)
+    report(table)
+    assert table.row("lenet5 vs pruning").measured > 1.0
+    assert table.row("alexnet vs pruning").measured > 1.0

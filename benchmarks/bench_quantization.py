@@ -1,0 +1,58 @@
+"""Quantization sweep: accuracy vs datapath word length (§4.2, Fig 15 note).
+
+Trains one block-circulant network, then evaluates it at 16/12/8/6/4-bit
+fixed point (weights *and* activations). Asserts the paper's two
+quantisation facts: 16-bit costs essentially nothing, 4-bit collapses
+("the overall accuracy when using 4-bit representation is low", §5.2).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_spec, make_classification_images
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.nn import Adam, BlockCirculantDense, Dense, ReLU, Sequential, Trainer
+from repro.quant import accuracy_vs_bits, network_accuracy
+
+from conftest import report
+
+
+def run_quantization_sweep() -> ExperimentTable:
+    table = ExperimentTable(
+        "quantization", "accuracy vs fixed-point word length"
+    )
+    dataset = make_classification_images(
+        dataset_spec("mnist"), 768, 384, noise=1.5, seed=0
+    )
+    flat_train = dataset.x_train.reshape(len(dataset.x_train), -1)
+    flat_test = dataset.x_test.reshape(len(dataset.x_test), -1)
+    net = Sequential(
+        BlockCirculantDense(784, 128, 16, seed=0), ReLU(),
+        Dense(128, 10, seed=1),
+    )
+    trainer = Trainer(net, Adam(net.parameters(), lr=2e-3), seed=0)
+    trainer.fit(flat_train, dataset.y_train, epochs=10, batch_size=64)
+    baseline = network_accuracy(net, flat_test, dataset.y_test)
+    table.add("float64 baseline", baseline, "frac",
+              band=BandCheck(low=0.9))
+    curve = accuracy_vs_bits(
+        net, flat_test, dataset.y_test, bit_widths=(16, 12, 8, 6, 4, 3)
+    )
+    for bits, accuracy in curve.items():
+        table.add(f"{bits}-bit accuracy", accuracy, "frac")
+    table.add(
+        "16-bit accuracy drop", baseline - curve[16], "frac",
+        paper=0.0, band=BandCheck(high=0.02),
+        note="§4.2: 16-bit is accurate enough",
+    )
+    table.add(
+        "3-bit relative accuracy", curve[3] / baseline, "frac",
+        band=BandCheck(high=0.95),
+        note="very low precision visibly degrades (paper: 4-bit AlexNet "
+             "<20% top-1)",
+    )
+    return table
+
+
+def test_quantization_sweep(benchmark):
+    table = benchmark.pedantic(run_quantization_sweep, rounds=1, iterations=1)
+    report(table)

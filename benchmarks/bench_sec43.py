@@ -1,0 +1,16 @@
+"""§4.3: (p, d) design-space worked example and Algorithm 3.
+
+Regenerates the block-128 Cyclone V example: p 16->32 gives ~+53.8%
+performance for <10% power; d 1->2 gives ~+62.2% for ~+7.8%; Algorithm 3's
+ternary searches land on a wide-p, d<=3 design.
+"""
+
+from repro.experiments.sec43 import run_sec43
+
+from conftest import report
+
+
+def test_sec43_design_space(benchmark):
+    table = benchmark(run_sec43)
+    report(table)
+    assert table.row("Algorithm 3 chosen d").measured <= 3

@@ -1,0 +1,15 @@
+"""§5.3: embedded ARM Cortex-A9 inference.
+
+Regenerates the LeNet-5 0.9 ms/image result, the TrueNorth and Tesla C2075
+comparisons, and the AlexNet-FC 667-vs-573 layers/s ARM-beats-GPU row.
+"""
+
+from repro.experiments.sec53 import run_sec53
+
+from conftest import report
+
+
+def test_sec53_embedded_arm(benchmark):
+    table = benchmark(run_sec53)
+    report(table)
+    assert table.row("AlexNet-FC ARM vs GPU").measured > 1.0

@@ -1,0 +1,17 @@
+"""§3.4: DBN training acceleration (5x-9x wall-clock band).
+
+Runs dense and block-circulant RBMs through the same CD-1 loop and
+measures the wall-clock ratio plus the analytic op-count ratio.
+"""
+
+from repro.experiments.training_speedup import run_training_speedup
+
+from conftest import report
+
+
+def test_training_speedup(benchmark):
+    table = benchmark.pedantic(run_training_speedup, rounds=1, iterations=1)
+    report(table)
+    measured = table.row("wall-clock training speedup").measured
+    analytic = table.row("operation-count speedup").measured
+    assert measured <= analytic

@@ -1,0 +1,82 @@
+"""Design-space exploration of the CirCNN engine (paper §4.3, Algorithm 3).
+
+The hardware-architect scenario: given a workload (AlexNet, compressed)
+and a platform (Cyclone V), choose the basic computing block's
+parallelisation degree ``p`` and depth ``d``. This example:
+
+1. sweeps the (p, d) grid and prints the Perf / Power / efficiency
+   surface produced by the full mapper;
+2. reproduces the paper's §4.3 worked example (block size 128);
+3. runs Algorithm 3 (ternary search on p, then d) and reports the chosen
+   design point.
+
+Run: ``python examples/design_space.py``
+"""
+
+from __future__ import annotations
+
+from repro.arch import PerfPowerModel, fpga_cyclone_v, optimize_design
+from repro.experiments.sec43 import evaluate_design, run_algorithm3
+from repro.models import alexnet_spec, default_alexnet_full_plan
+
+
+def sweep_pd_surface() -> None:
+    """Perf/Power surface of the AlexNet workload on the FPGA mapper."""
+    print("=" * 70)
+    print("1. (p, d) surface for compressed AlexNet on Cyclone V")
+    model = PerfPowerModel(
+        fpga_cyclone_v(), alexnet_spec(), default_alexnet_full_plan()
+    )
+    print(f"{'p':>5} {'d':>3} {'GOPS':>9} {'power W':>9} {'GOPS/W':>9}")
+    for p in (8, 16, 32, 64, 128):
+        for d in (1, 2, 3):
+            point = model.evaluate(p, d)
+            print(
+                f"{p:>5} {d:>3} {point.performance_gops:>9.1f} "
+                f"{point.power_w:>9.3f} "
+                f"{point.efficiency_gops_per_watt:>9.1f}"
+            )
+
+
+def paper_worked_example() -> None:
+    """The §4.3 numbers: block 128, p 16->32 and d 1->2."""
+    print("=" * 70)
+    print("2. The paper's worked example (block size 128)")
+    p16 = evaluate_design(16, 1)
+    p32 = evaluate_design(32, 1)
+    d2 = evaluate_design(32, 2)
+    perf_p = p32.relative_performance / p16.relative_performance - 1
+    power_p = p32.power_w / p16.power_w - 1
+    perf_d = d2.relative_performance / p32.relative_performance - 1
+    power_d = d2.power_w / p32.power_w - 1
+    print(f"   p 16->32 (d=1): perf {perf_p:+.1%} (paper +53.8%), "
+          f"power {power_p:+.1%} (paper <+10%)")
+    print(f"   d 1->2  (p=32): perf {perf_d:+.1%} (paper +62.2%), "
+          f"power {power_d:+.1%} (paper +7.8%)")
+
+
+def run_optimizer() -> None:
+    """Algorithm 3 on both the worked example and the full workload."""
+    print("=" * 70)
+    print("3. Algorithm 3 (ternary search p, then d)")
+    example = run_algorithm3()
+    print(f"   worked example -> p={example.parallelism}, d={example.depth} "
+          f"(relative perf {example.relative_performance:.2f}x, "
+          f"power {example.power_w:.3f} W)")
+    model = PerfPowerModel(
+        fpga_cyclone_v(), alexnet_spec(), default_alexnet_full_plan()
+    )
+    chosen = optimize_design(model, p_max=128)
+    print(f"   AlexNet workload -> p={chosen.parallelism}, d={chosen.depth} "
+          f"({chosen.performance_gops:.0f} GOPS at {chosen.power_w:.2f} W, "
+          f"M = {chosen.objective:.1f} GOPS/W)")
+
+
+def main() -> None:
+    sweep_pd_surface()
+    paper_worked_example()
+    run_optimizer()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Regenerate every paper artefact and print paper-vs-measured tables.
+
+Runs the whole experiment registry — Figs 7a/7b/7c, 13, 14, 15 and the
+§3.4 / §4.3 / §5.3 in-text results — and reports which acceptance bands
+hold. This is the one-command version of EXPERIMENTS.md.
+
+Run: ``python examples/reproduce_paper.py [--fast]``
+(``--fast`` skips the two training-based experiments, fig7b and
+training_speedup, which take a few minutes.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import available_experiments, run_experiment
+
+SLOW_EXPERIMENTS = {"fig7b", "training_speedup"}
+
+
+def main() -> int:
+    fast = "--fast" in sys.argv
+    failures: list[str] = []
+    for experiment_id in available_experiments():
+        if fast and experiment_id in SLOW_EXPERIMENTS:
+            print(f"== {experiment_id}: skipped (--fast) ==\n")
+            continue
+        table = run_experiment(experiment_id)
+        print(table.render())
+        if table.all_bands_hold:
+            print("   -> all paper bands hold\n")
+        else:
+            failed = ", ".join(row.label for row in table.failures())
+            print(f"   -> BAND FAILURES: {failed}\n")
+            failures.append(experiment_id)
+    if failures:
+        print(f"FAILED experiments: {failures}")
+        return 1
+    print("All reproduced artefacts are inside their paper bands.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

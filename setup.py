@@ -1,0 +1,8 @@
+"""Setuptools shim so legacy `setup.py develop` installs work offline.
+
+The sandbox has no `wheel` package, so pip's PEP-660 editable path fails;
+`pip install -e .` falls back through this shim.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Complexity accounting and theory demonstrations (paper §3.3–3.4)."""
+
+from repro.analysis.complexity import (
+    LayerWork,
+    block_circulant_conv_work,
+    block_circulant_fc_work,
+    dense_fc_ops,
+    fc_compute_speedup,
+    model_work,
+    pool_work,
+    training_step_ops,
+)
+from repro.analysis.approximation import (
+    approximation_error_curve,
+    fit_inverse_width_law,
+)
+
+__all__ = [
+    "LayerWork",
+    "dense_fc_ops",
+    "block_circulant_fc_work",
+    "block_circulant_conv_work",
+    "pool_work",
+    "model_work",
+    "fc_compute_speedup",
+    "training_step_ops",
+    "approximation_error_curve",
+    "fit_inverse_width_law",
+]

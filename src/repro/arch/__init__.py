@@ -1,0 +1,101 @@
+"""CirCNN architecture simulator (paper §4, evaluated in §5).
+
+The CirCNN inference engine consists of a *basic computing block* — a
+reconfigurable radix-2 FFT pipeline with parallelisation degree ``p`` and
+depth ``d`` (Fig 10) — a *peripheral computing block* (element-wise
+multiplies, ReLU, pooling), a control subsystem, and a ROM/RAM memory
+subsystem (Fig 11). This package models that machine analytically at the
+butterfly / memory-word level:
+
+- :mod:`repro.arch.spec` — the (p, d, frequency, bit-width, unit-count)
+  configuration knob set.
+- :mod:`repro.arch.energy` — per-operation energy model with bit-width and
+  voltage scaling (the Fig 15 near-threshold 4-bit study).
+- :mod:`repro.arch.memory` — SRAM/ROM/DRAM energy and bandwidth, with the
+  paper's 200x DRAM:SRAM per-bit ratio.
+- :mod:`repro.arch.computing_block` — cycles and energy of FFT work on the
+  (p, d) butterfly pipeline, including small-FFT under-utilisation (the
+  effect the paper cites for its CIFAR-10 throughput loss).
+- :mod:`repro.arch.peripheral` — the linear-complexity units.
+- :mod:`repro.arch.pipeline` — inter-level vs intra-level pipelining
+  (Fig 12) effects on frequency and memory traffic.
+- :mod:`repro.arch.mapping` — maps a model + compression plan onto a
+  platform: per-layer cycles/energy, latency, fps, GOPS, GOPS/W.
+- :mod:`repro.arch.power` — Perf(p, d) / Power(p, d) closures (§4.3).
+- :mod:`repro.arch.design_opt` — Algorithm 3's ternary-search optimiser.
+- :mod:`repro.arch.platforms` — calibrated FPGA / ASIC / near-threshold /
+  embedded-CPU platform constants and published reference design points.
+"""
+
+from repro.arch.spec import ArchitectureConfig
+from repro.arch.energy import EnergyModel
+from repro.arch.memory import MemorySubsystem
+from repro.arch.computing_block import BasicComputingBlock, FFTJobReport
+from repro.arch.peripheral import PeripheralComputingBlock
+from repro.arch.pipeline import PipelineScheme, pipeline_scheme
+from repro.arch.mapping import InferenceReport, LayerReport, map_model
+from repro.arch.controller import (
+    ControlProgram,
+    Engine,
+    ExecutionTrace,
+    compile_program,
+)
+from repro.arch.scaling import ScaledDeployment, engines_needed_for_throughput
+from repro.arch.hierarchy import (
+    AccessPattern,
+    CacheModel,
+    HierarchyReport,
+    analyze_hierarchy,
+    block_circulant_access_pattern,
+    pruned_sparse_access_pattern,
+    required_memory_levels,
+    sram_max_frequency_hz,
+)
+from repro.arch.power import PerfPowerModel
+from repro.arch.design_opt import DesignPoint, optimize_design, ternary_search_int
+from repro.arch.platforms import (
+    PlatformSpec,
+    ReferenceDesign,
+    arm_cortex_a9,
+    asic_45nm,
+    asic_45nm_near_threshold,
+    fpga_cyclone_v,
+)
+
+__all__ = [
+    "ArchitectureConfig",
+    "EnergyModel",
+    "MemorySubsystem",
+    "BasicComputingBlock",
+    "FFTJobReport",
+    "PeripheralComputingBlock",
+    "PipelineScheme",
+    "pipeline_scheme",
+    "InferenceReport",
+    "LayerReport",
+    "map_model",
+    "PerfPowerModel",
+    "DesignPoint",
+    "optimize_design",
+    "ternary_search_int",
+    "PlatformSpec",
+    "ReferenceDesign",
+    "fpga_cyclone_v",
+    "asic_45nm",
+    "asic_45nm_near_threshold",
+    "arm_cortex_a9",
+    "ControlProgram",
+    "Engine",
+    "ExecutionTrace",
+    "compile_program",
+    "AccessPattern",
+    "CacheModel",
+    "HierarchyReport",
+    "analyze_hierarchy",
+    "block_circulant_access_pattern",
+    "pruned_sparse_access_pattern",
+    "required_memory_levels",
+    "sram_max_frequency_hz",
+    "ScaledDeployment",
+    "engines_needed_for_throughput",
+]

@@ -1,0 +1,134 @@
+"""Basic computing block: the (p, d) FFT butterfly pipeline (paper Fig 10).
+
+Timing model
+------------
+A size-``k`` real-input FFT has ``L = log2(k)`` butterfly levels with
+``k/4`` butterfly-equivalents per level (half of a complex FFT's ``k/2``
+thanks to Hermitian symmetry — the Fig 10 "red circles" saving). The block
+executes ``d`` consecutive levels in a pipeline of ``p`` butterfly units
+per level:
+
+- one *level group* of up to ``d`` levels costs ``ceil((k/4) / p)`` cycles
+  per transform (a stream of transforms keeps all stages busy, so groups
+  pipeline back to back);
+- a transform needs ``ceil(L / d)`` level groups, with intermediate
+  results round-tripping through memory between groups — which is why
+  larger ``d`` "results in less memory accesses" (§4.3).
+
+Small transforms under-utilise the block: when ``k/4 < p``, a level still
+costs one cycle but most units idle. This is the effect the paper cites
+for its CIFAR-10 model ("the DNN model we chose uses small-scale FFTs,
+which limits the degree of improvements", §5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.energy import EnergyModel
+from repro.arch.memory import MemorySubsystem
+from repro.arch.spec import ArchitectureConfig
+from repro.errors import ConfigurationError
+from repro.fftcore.ops_count import real_fft_butterflies
+from repro.utils.validation import ensure_power_of_two
+
+
+@dataclass(frozen=True)
+class FFTJobReport:
+    """Cycles and energy for a batch of equal-size FFT/IFFT transforms."""
+
+    fft_size: int
+    count: int
+    cycles: int
+    butterflies: int
+    compute_energy_j: float
+    traffic_words: float
+    traffic_energy_j: float
+    twiddle_energy_j: float
+    peak_butterflies_per_cycle: int = 1
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compute_energy_j + self.traffic_energy_j + self.twiddle_energy_j
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the ``p * d`` butterfly slots actually used.
+
+        Small transforms cannot fill the array (``k/4`` butterflies per
+        level against ``p`` lanes), which is the paper's CIFAR-10
+        throughput limiter.
+        """
+        if self.cycles == 0:
+            return 1.0
+        slots = self.cycles * self.peak_butterflies_per_cycle
+        return self.butterflies / slots
+
+
+class BasicComputingBlock:
+    """Cycle/energy model of the (p, d) butterfly pipeline."""
+
+    def __init__(self, config: ArchitectureConfig, energy: EnergyModel,
+                 memory: MemorySubsystem):
+        self.config = config
+        self.energy = energy
+        self.memory = memory
+
+    def level_groups(self, fft_size: int) -> int:
+        """Memory round trips of one transform: ``ceil(log2(k) / d)``."""
+        ensure_power_of_two(fft_size, "fft_size")
+        levels = int(math.log2(fft_size)) if fft_size > 1 else 0
+        if levels == 0:
+            return 0
+        return -(-levels // self.config.depth)
+
+    def run_ffts(self, fft_size: int, count: int) -> FFTJobReport:
+        """Execute ``count`` real-input transforms of size ``fft_size``.
+
+        Returns the streamed-steady-state cycle count (pipeline fill is a
+        few tens of cycles and is ignored relative to thousands of
+        transforms per layer) and the energy split into butterfly compute,
+        intermediate-result memory traffic, and twiddle ROM reads.
+        """
+        ensure_power_of_two(fft_size, "fft_size")
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if count == 0 or fft_size == 1:
+            return FFTJobReport(
+                fft_size, count, 0, 0, 0.0, 0.0, 0.0, 0.0,
+                self.peak_butterflies_per_cycle(),
+            )
+        levels = int(math.log2(fft_size))
+        per_level = max(1, fft_size // 4)  # real-input butterflies per level
+        groups = self.level_groups(fft_size)
+        cycles_per_group = -(-per_level // self.config.parallelism)
+        cycles = count * groups * cycles_per_group
+        butterflies = count * real_fft_butterflies(fft_size)
+        compute = butterflies * self.energy.butterfly_energy_j
+        # Between level groups the k/2 packed complex values (k real words)
+        # round-trip through on-chip memory: one write + one read per trip.
+        trips = groups
+        traffic_words = count * fft_size * trips * 2.0
+        traffic = self.memory.buffer_access_energy_j(
+            traffic_words, self.config.data_bits
+        )
+        # Each butterfly reads one complex twiddle (2 words) from ROM.
+        twiddle = self.memory.rom_access_energy_j(
+            butterflies * 2.0, self.config.data_bits
+        )
+        return FFTJobReport(
+            fft_size=fft_size,
+            count=count,
+            cycles=cycles,
+            butterflies=butterflies,
+            compute_energy_j=compute,
+            traffic_words=traffic_words,
+            traffic_energy_j=traffic,
+            twiddle_energy_j=twiddle,
+            peak_butterflies_per_cycle=self.peak_butterflies_per_cycle(),
+        )
+
+    def peak_butterflies_per_cycle(self) -> int:
+        """Throughput ceiling of the block: ``p * d`` (one per unit)."""
+        return self.config.parallelism * self.config.depth

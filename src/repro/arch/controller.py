@@ -1,0 +1,242 @@
+"""Control subsystem: compile a network into an engine instruction stream.
+
+Fig 11 places a *control subsystem* between the layers of a DNN and the
+two computing blocks: "the different setting of FFT/IFFT calculations is
+configured by the control subsystem" for different layer types and sizes.
+§5.4 adds that reconfigurability — running any network on the same silicon
+by reprogramming, TrueNorth-style but without its restrictions — is a key
+property, with "the software interface of reconfigurability ... under
+development".
+
+This module is that software interface: :func:`compile_program` lowers a
+``ModelSpec`` + ``CompressionPlan`` into a typed instruction stream
+(configure the FFT size; run transform batches on the basic computing
+block; run element-wise/scalar batches on the peripheral block; move
+weight/activation words), and :class:`Engine` interprets the stream
+against the platform models. The interpreter's cycle/energy totals agree
+with :func:`repro.arch.mapping.map_model` (asserted by tests), so the
+instruction stream is a faithful, inspectable view of the same execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.complexity import LayerWork, model_work
+from repro.arch.computing_block import BasicComputingBlock
+from repro.arch.peripheral import PeripheralComputingBlock
+from repro.arch.platforms import PlatformSpec
+from repro.errors import ConfigurationError
+from repro.models.descriptors import CompressionPlan, ModelSpec
+
+
+# --------------------------------------------------------------------------
+# Instruction set
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConfigureFFT:
+    """Reconfigure the basic computing block for a transform size.
+
+    The recursive property (§4.1) is what makes this a pure control-plane
+    action: any power-of-two size runs on the same butterfly array.
+    """
+
+    layer: str
+    fft_size: int
+
+
+@dataclass(frozen=True)
+class RunFFTBatch:
+    """Execute ``count`` real FFT/IFFT transforms of the configured size."""
+
+    layer: str
+    fft_size: int
+    count: int
+
+
+@dataclass(frozen=True)
+class RunPeripheral:
+    """Element-wise products / accumulations / scalar ops on the
+    peripheral computing block."""
+
+    layer: str
+    cmult: int
+    cadd: int
+    scalar_ops: int
+
+
+@dataclass(frozen=True)
+class MoveData:
+    """Stream weight and activation words through the memory subsystem."""
+
+    layer: str
+    weight_words: int
+    activation_words: int
+
+
+Instruction = ConfigureFFT | RunFFTBatch | RunPeripheral | MoveData
+
+
+@dataclass(frozen=True)
+class ControlProgram:
+    """A compiled instruction stream for one network."""
+
+    model_name: str
+    instructions: tuple[Instruction, ...]
+
+    def for_layer(self, layer: str) -> tuple[Instruction, ...]:
+        """The instructions belonging to one layer, in order."""
+        return tuple(i for i in self.instructions if i.layer == layer)
+
+    def fft_sizes(self) -> tuple[int, ...]:
+        """Distinct transform sizes the program reconfigures through."""
+        return tuple(sorted({
+            i.fft_size for i in self.instructions
+            if isinstance(i, ConfigureFFT)
+        }))
+
+    def listing(self) -> str:
+        """Human-readable program listing."""
+        lines = [f"ControlProgram for {self.model_name}:"]
+        for instruction in self.instructions:
+            lines.append(f"  {instruction!r}")
+        return "\n".join(lines)
+
+
+def compile_program(model: ModelSpec, plan: CompressionPlan) -> ControlProgram:
+    """Lower a model + compression plan into engine instructions.
+
+    Per layer: one ``ConfigureFFT`` (when the layer has FFT work — the
+    control subsystem only reconfigures on size changes, but we emit it
+    per layer for inspectability), the transform batch, the peripheral
+    batch, and the data movement.
+    """
+    instructions: list[Instruction] = []
+    for work in model_work(model, plan):
+        if work.fft_size > 1 and work.num_fft > 0:
+            instructions.append(ConfigureFFT(work.name, work.fft_size))
+            instructions.append(
+                RunFFTBatch(work.name, work.fft_size, work.num_fft)
+            )
+        if work.cmult or work.cadd or work.scalar_ops:
+            instructions.append(
+                RunPeripheral(work.name, work.cmult, work.cadd,
+                              work.scalar_ops)
+            )
+        instructions.append(
+            MoveData(work.name, int(work.weight_words),
+                     int(work.activation_words))
+        )
+    return ControlProgram(model.name, tuple(instructions))
+
+
+# --------------------------------------------------------------------------
+# Interpreter
+# --------------------------------------------------------------------------
+
+@dataclass
+class ExecutionTrace:
+    """Cycle/energy totals of interpreting a program on a platform."""
+
+    fft_cycles: int = 0
+    peripheral_cycles: int = 0
+    memory_words: int = 0
+    compute_energy_j: float = 0.0
+    memory_energy_j: float = 0.0
+    reconfigurations: int = 0
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.compute_energy_j + self.memory_energy_j
+
+
+class Engine:
+    """Interprets a :class:`ControlProgram` against a platform's blocks.
+
+    One physical engine runs every program — the §5.4 reconfigurability
+    claim; interpreting a new program needs no new hardware state beyond
+    the configured FFT size.
+    """
+
+    def __init__(self, platform: PlatformSpec):
+        self.platform = platform
+        energy = platform.scaled_energy()
+        self._fft_block = BasicComputingBlock(
+            platform.config, energy, platform.memory
+        )
+        self._peripheral = PeripheralComputingBlock(platform.config, energy)
+        self._configured_fft: int | None = None
+
+    def execute(self, program: ControlProgram,
+                model_weight_bytes: float = 0.0) -> ExecutionTrace:
+        """Run a whole program and return the accumulated trace."""
+        trace = ExecutionTrace()
+        for instruction in program.instructions:
+            self._step(instruction, trace, model_weight_bytes)
+        return trace
+
+    def _step(self, instruction: Instruction, trace: ExecutionTrace,
+              model_weight_bytes: float) -> None:
+        if isinstance(instruction, ConfigureFFT):
+            if instruction.fft_size != self._configured_fft:
+                trace.reconfigurations += 1
+                self._configured_fft = instruction.fft_size
+            return
+        if isinstance(instruction, RunFFTBatch):
+            if self._configured_fft != instruction.fft_size:
+                raise ConfigurationError(
+                    f"layer {instruction.layer!r}: FFT batch of size "
+                    f"{instruction.fft_size} but block configured for "
+                    f"{self._configured_fft}"
+                )
+            job = self._fft_block.run_ffts(
+                instruction.fft_size, instruction.count
+            )
+            trace.fft_cycles += job.cycles
+            trace.compute_energy_j += job.compute_energy_j
+            trace.memory_energy_j += (
+                job.traffic_energy_j + job.twiddle_energy_j
+            )
+            trace.memory_words += int(job.traffic_words)
+            return
+        if isinstance(instruction, RunPeripheral):
+            job = self._peripheral.run(
+                instruction.cmult, instruction.cadd, instruction.scalar_ops
+            )
+            trace.peripheral_cycles += job.cycles
+            trace.compute_energy_j += job.energy_j
+            return
+        if isinstance(instruction, MoveData):
+            bits = self.platform.config.data_bits
+            trace.memory_energy_j += (
+                self.platform.memory.weight_access_energy_j(
+                    instruction.weight_words, bits, model_weight_bytes
+                )
+                + self.platform.memory.buffer_access_energy_j(
+                    instruction.activation_words, bits
+                )
+            )
+            trace.memory_words += (
+                instruction.weight_words + instruction.activation_words
+            )
+            return
+        raise ConfigurationError(f"unknown instruction {instruction!r}")
+
+
+def layer_work_from_program(program: ControlProgram,
+                            layer: str) -> dict[str, int]:
+    """Summarise one layer's instruction stream (for tests/inspection)."""
+    summary = {"fft": 0, "cmult": 0, "cadd": 0, "scalar": 0, "words": 0}
+    for instruction in program.for_layer(layer):
+        if isinstance(instruction, RunFFTBatch):
+            summary["fft"] += instruction.count
+        elif isinstance(instruction, RunPeripheral):
+            summary["cmult"] += instruction.cmult
+            summary["cadd"] += instruction.cadd
+            summary["scalar"] += instruction.scalar_ops
+        elif isinstance(instruction, MoveData):
+            summary["words"] += (
+                instruction.weight_words + instruction.activation_words
+            )
+    return summary

@@ -1,0 +1,100 @@
+"""Algorithm 3: design optimisation of the basic computing block.
+
+The paper's procedure:
+
+1. derive an upper bound on the parallelisation degree ``p`` from memory
+   bandwidth and hardware resource limits;
+2. ternary-search ``p`` maximising ``M(Perf(p, d), Power(p, d))`` with
+   ``d = 1``;
+3. ternary-search ``d`` given the chosen ``p``.
+
+``p`` gets optimisation priority "in order not to increase control
+complexity" — deeper pipelines need more control than wider ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.power import PerfPowerModel
+from repro.errors import ConfigurationError
+
+
+def ternary_search_int(objective: Callable[[int], float], low: int,
+                       high: int) -> int:
+    """Maximise a unimodal integer function on ``[low, high]``.
+
+    Classic discrete ternary search: shrink the interval by thirds while
+    it is wide, finish with a linear scan of the remnant (which also makes
+    the search robust to small plateaus).
+    """
+    if low > high:
+        raise ConfigurationError(f"empty search range [{low}, {high}]")
+    while high - low > 3:
+        third = (high - low) // 3
+        mid1 = low + third
+        mid2 = high - third
+        if objective(mid1) < objective(mid2):
+            low = mid1 + 1
+        else:
+            high = mid2 - 1
+    return max(range(low, high + 1), key=objective)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Result of Algorithm 3: the chosen (p, d) and its metrics."""
+
+    parallelism: int
+    depth: int
+    performance_gops: float
+    power_w: float
+    objective: float
+
+
+def memory_bandwidth_bound(model: PerfPowerModel) -> int:
+    """Upper bound on p from the memory interface (Algorithm 3, step 1).
+
+    Each butterfly consumes two words and produces two words per cycle, so
+    sustaining ``p`` butterflies per level needs ~4p words/cycle; the
+    bound is the largest p the configured memory lanes can feed.
+    """
+    lanes = model.platform.config.memory_words_per_cycle
+    return max(1, lanes)
+
+
+def optimize_design(model: PerfPowerModel, p_max: int | None = None,
+                    d_max: int | None = None) -> DesignPoint:
+    """Run Algorithm 3 on a Perf/Power model.
+
+    Parameters
+    ----------
+    model:
+        Workload-bound Perf/Power evaluator.
+    p_max:
+        Resource bound on p; defaults to the memory-bandwidth bound.
+    d_max:
+        Control-complexity bound on d; defaults to the platform's
+        ``max_depth`` (the paper uses 3).
+    """
+    if p_max is None:
+        p_max = memory_bandwidth_bound(model)
+    if d_max is None:
+        d_max = model.platform.config.max_depth
+    if p_max < 1 or d_max < 1:
+        raise ConfigurationError("search bounds must be >= 1")
+
+    # Step 2: ternary search on p with d = 1.
+    best_p = ternary_search_int(lambda p: model.objective(p, 1), 1, p_max)
+    # Step 3: ternary search on d at the chosen p.
+    best_d = ternary_search_int(lambda d: model.objective(best_p, d), 1, d_max)
+
+    point = model.evaluate(best_p, best_d)
+    return DesignPoint(
+        parallelism=best_p,
+        depth=best_d,
+        performance_gops=point.performance_gops,
+        power_w=point.power_w,
+        objective=model.objective(best_p, best_d),
+    )

@@ -1,0 +1,87 @@
+"""Per-operation energy model with bit-width and voltage scaling.
+
+Energies are parameterised at a *nominal* operating point (16-bit words,
+nominal supply voltage) and scaled:
+
+- multiplier energy grows quadratically with word length (array
+  multiplier area/activity ~ bits^2);
+- adder, comparator and memory energies grow linearly with word length;
+- all dynamic energies scale with V^2 (CV^2 switching energy), which is
+  the lever behind the paper's near-threshold study (Fig 15): dropping
+  from nominal to 0.55 V and from 16-bit to 4-bit words compounds to the
+  ~17x energy-efficiency gain the paper reports.
+
+The nominal constants live in :mod:`repro.arch.platforms`, calibrated per
+technology (45 nm ASIC vs FPGA fabric) from the accelerator literature the
+paper compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Scalar-operation energies (joules) at a given design point.
+
+    Attributes
+    ----------
+    mult_energy_j / add_energy_j:
+        One scalar multiply / add (or compare) at ``reference_bits`` and
+        ``reference_voltage``.
+    register_energy_j:
+        One pipeline-register word write (intra-level pipelining cost).
+    reference_bits, reference_voltage:
+        Operating point at which the above are quoted.
+    """
+
+    mult_energy_j: float
+    add_energy_j: float
+    register_energy_j: float
+    reference_bits: int = 16
+    reference_voltage: float = 1.0
+
+    def __post_init__(self):
+        if min(self.mult_energy_j, self.add_energy_j,
+               self.register_energy_j) < 0:
+            raise ConfigurationError("energies must be non-negative")
+        if self.reference_bits < 2 or self.reference_voltage <= 0:
+            raise ConfigurationError("invalid reference operating point")
+
+    def scaled(self, bits: int | None = None,
+               voltage: float | None = None) -> "EnergyModel":
+        """Return the model re-quoted at a new word length / supply voltage."""
+        bits = self.reference_bits if bits is None else bits
+        voltage = self.reference_voltage if voltage is None else voltage
+        if bits < 2:
+            raise ConfigurationError(f"bits must be >= 2, got {bits}")
+        if voltage <= 0:
+            raise ConfigurationError(f"voltage must be > 0, got {voltage}")
+        bit_ratio = bits / self.reference_bits
+        volt_ratio = (voltage / self.reference_voltage) ** 2
+        return EnergyModel(
+            mult_energy_j=self.mult_energy_j * bit_ratio**2 * volt_ratio,
+            add_energy_j=self.add_energy_j * bit_ratio * volt_ratio,
+            register_energy_j=self.register_energy_j * bit_ratio * volt_ratio,
+            reference_bits=bits,
+            reference_voltage=voltage,
+        )
+
+    # -- composite operations ------------------------------------------------
+    @property
+    def butterfly_energy_j(self) -> float:
+        """One radix-2 butterfly: 4 multiplies + 6 adds (complex MAC pair)."""
+        return 4 * self.mult_energy_j + 6 * self.add_energy_j
+
+    @property
+    def complex_mult_energy_j(self) -> float:
+        """One complex element-wise product: 4 multiplies + 2 adds."""
+        return 4 * self.mult_energy_j + 2 * self.add_energy_j
+
+    @property
+    def mac_energy_j(self) -> float:
+        """One scalar multiply-accumulate (dense-layer fallback)."""
+        return self.mult_energy_j + self.add_energy_j

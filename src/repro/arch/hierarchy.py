@@ -1,0 +1,173 @@
+"""Memory hierarchy and prefetching model (paper §4.4, ASIC platform).
+
+The paper's ASIC memory study makes three claims this module makes
+measurable:
+
+1. at ~200 MHz a *single-level* memory suffices; at higher clocks (the
+   paper's example: 800 MHz) "an effective memory hierarchy with at least
+   two levels (L1 cache and main memory) becomes necessary" because a
+   large SRAM cannot cycle that fast;
+2. with a hierarchy, prefetching keeps the miss rate very low *because
+   block-circulant weight access is regular* — "the key technique to
+   improve performance will be highly effective due to the regular weight
+   access patterns";
+3. that regularity is "another advantage over prior compression schemes":
+   pruned/sparse models access weights data-dependently, defeating the
+   prefetcher.
+
+The model: a main SRAM has a maximum operating frequency that shrinks with
+capacity (wordline/bitline delay); a small L1 is fast. Weight streams are
+characterised by a *regularity* in [0, 1] (fraction of accesses that are
+sequential); the prefetcher converts sequential accesses into hits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+#: Frequency a 64 KiB SRAM bank comfortably reaches in the 45 nm class.
+#: Chosen so a "multiple MBs" single-level memory (§4.4) sustains the
+#: paper's 200 MHz target (4 MiB -> 225 MHz) but not its 800 MHz example.
+_REFERENCE_BANK_BYTES = 64 * 1024
+_REFERENCE_BANK_MAX_HZ = 1.8e9
+
+
+def sram_max_frequency_hz(capacity_bytes: int) -> float:
+    """Maximum operating frequency of a single SRAM of a given capacity.
+
+    Access time grows roughly with sqrt(capacity) (wordline + bitline
+    flight), so the achievable clock falls as 1/sqrt(capacity) from the
+    reference bank.
+    """
+    if capacity_bytes <= 0:
+        raise ConfigurationError("capacity must be positive")
+    ratio = capacity_bytes / _REFERENCE_BANK_BYTES
+    return _REFERENCE_BANK_MAX_HZ / math.sqrt(max(1.0, ratio))
+
+
+def required_memory_levels(frequency_hz: float,
+                           capacity_bytes: int) -> int:
+    """1 if a single memory sustains the clock, else 2 (L1 + main).
+
+    Reproduces the §4.4 statement: multiple MBs at 200 MHz -> single
+    level; the same capacity at 800 MHz -> hierarchy required.
+    """
+    if frequency_hz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    if frequency_hz <= sram_max_frequency_hz(capacity_bytes):
+        return 1
+    return 2
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """A weight-access stream characterised by its spatial regularity.
+
+    ``regularity`` is the fraction of accesses that continue a sequential
+    run (next word after the previous one). Block-circulant inference
+    streams defining vectors / spectra front to back (regularity ~= 1);
+    magnitude-pruned sparse formats chase indices (low regularity).
+    """
+
+    name: str
+    regularity: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.regularity <= 1.0:
+            raise ConfigurationError(
+                f"regularity must be in [0, 1], got {self.regularity}"
+            )
+
+
+def block_circulant_access_pattern() -> AccessPattern:
+    """Weight stream of a block-circulant layer: dense sequential reads of
+    the stored spectra, interrupted only at block boundaries."""
+    return AccessPattern("block_circulant", regularity=0.98)
+
+
+def pruned_sparse_access_pattern(sparsity: float = 0.9) -> AccessPattern:
+    """Weight stream of an index-chasing sparse format (Fig 3's irregular
+    structure): runs are broken whenever an index skips, i.e. almost
+    always at high sparsity."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigurationError(f"sparsity must be in [0, 1), got {sparsity}")
+    return AccessPattern("pruned_sparse", regularity=1.0 - sparsity)
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """A prefetching L1 in front of the main weight memory.
+
+    ``line_words`` words move per fill; a demand miss costs
+    ``miss_penalty_cycles``. The next-line prefetcher hides fills for
+    sequential accesses with probability ``prefetch_accuracy``.
+    """
+
+    line_words: int = 8
+    miss_penalty_cycles: int = 6
+    prefetch_accuracy: float = 0.95
+
+    def miss_rate(self, pattern: AccessPattern) -> float:
+        """Demand-miss rate for a stream of the given regularity.
+
+        Sequential accesses miss once per line (1/line_words) and the
+        prefetcher hides most of those; irregular accesses miss outright.
+        """
+        sequential_miss = (1.0 / self.line_words) * (
+            1.0 - self.prefetch_accuracy
+        )
+        irregular_miss = 1.0
+        return (
+            pattern.regularity * sequential_miss
+            + (1.0 - pattern.regularity) * irregular_miss
+        )
+
+    def average_access_cycles(self, pattern: AccessPattern) -> float:
+        """Mean cycles per weight access, including miss stalls."""
+        return 1.0 + self.miss_rate(pattern) * self.miss_penalty_cycles
+
+    def stall_cycles(self, pattern: AccessPattern, accesses: int) -> float:
+        """Total stall cycles a stream of ``accesses`` words incurs."""
+        if accesses < 0:
+            raise ConfigurationError("accesses must be non-negative")
+        return self.miss_rate(pattern) * accesses * self.miss_penalty_cycles
+
+
+@dataclass(frozen=True)
+class HierarchyReport:
+    """Outcome of the §4.4 hierarchy analysis for one design point."""
+
+    frequency_hz: float
+    capacity_bytes: int
+    levels: int
+    miss_rate: float
+    average_access_cycles: float
+
+
+def analyze_hierarchy(frequency_hz: float, capacity_bytes: int,
+                      pattern: AccessPattern | None = None,
+                      cache: CacheModel | None = None) -> HierarchyReport:
+    """Full §4.4 analysis: level count and cache behaviour at one clock."""
+    pattern = pattern if pattern is not None else block_circulant_access_pattern()
+    cache = cache if cache is not None else CacheModel()
+    levels = required_memory_levels(frequency_hz, capacity_bytes)
+    if levels == 1:
+        # Single-level memory: every access is a hit by construction.
+        return HierarchyReport(
+            frequency_hz=frequency_hz,
+            capacity_bytes=capacity_bytes,
+            levels=1,
+            miss_rate=0.0,
+            average_access_cycles=1.0,
+        )
+    return HierarchyReport(
+        frequency_hz=frequency_hz,
+        capacity_bytes=capacity_bytes,
+        levels=2,
+        miss_rate=cache.miss_rate(pattern),
+        average_access_cycles=cache.average_access_cycles(pattern),
+    )

@@ -1,0 +1,233 @@
+"""Map a model onto a platform: cycles, energy, throughput, efficiency.
+
+This is the control-subsystem view of §4.2: every layer is decomposed into
+FFT work (basic computing block), frequency-domain / scalar work
+(peripheral block), and memory traffic. Within a layer the three streams
+are pipelined, so the layer's cycle count is the maximum of the three; a
+network executes layer by layer (the paper's "layerwise implementation",
+§5.1).
+
+Performance is reported in *equivalent GOPS* — operations of the
+uncompressed network divided by the compressed run time — matching the
+paper's metric ("we use equivalent GOPS ... for all methods with weight
+storage compression", §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.complexity import LayerWork, model_work
+from repro.arch.computing_block import BasicComputingBlock
+from repro.arch.peripheral import PeripheralComputingBlock
+from repro.arch.pipeline import PipelineScheme, pipeline_scheme
+from repro.arch.platforms import PlatformSpec
+from repro.models.descriptors import CompressionPlan, ModelSpec
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Simulated execution of one layer (per input image)."""
+
+    name: str
+    kind: str
+    cycles: int
+    fft_cycles: int
+    peripheral_cycles: int
+    memory_cycles: int
+    energy_j: float
+    compute_energy_j: float
+    memory_energy_j: float
+    dense_macs: int
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """Simulated end-to-end inference of a model on a platform."""
+
+    model_name: str
+    platform_name: str
+    layers: tuple[LayerReport, ...]
+    frequency_hz: float
+    static_power_w: float
+    model_weight_bytes: float
+    fits_on_chip: bool
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def latency_s(self) -> float:
+        """Per-image latency (layerwise execution)."""
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def throughput_fps(self) -> float:
+        """Images per second (single engine, layerwise)."""
+        return 1.0 / self.latency_s
+
+    # -- energy / power -------------------------------------------------------
+    @property
+    def dynamic_energy_j(self) -> float:
+        return sum(layer.energy_j for layer in self.layers)
+
+    @property
+    def energy_per_image_j(self) -> float:
+        return self.dynamic_energy_j + self.static_power_w * self.latency_s
+
+    @property
+    def power_w(self) -> float:
+        """Average power while streaming images back to back."""
+        return self.energy_per_image_j / self.latency_s
+
+    # -- paper metrics ---------------------------------------------------------
+    @property
+    def dense_ops(self) -> int:
+        """Operations of the uncompressed network: 2 x MACs (§5.1)."""
+        return 2 * sum(layer.dense_macs for layer in self.layers)
+
+    @property
+    def equivalent_gops(self) -> float:
+        """Equivalent GOPS: dense ops / compressed run time."""
+        return self.dense_ops / self.latency_s / 1e9
+
+    @property
+    def gops_per_watt(self) -> float:
+        """Equivalent energy efficiency (GOPS/W)."""
+        return self.equivalent_gops / self.power_w
+
+    @property
+    def fps_per_watt(self) -> float:
+        """Throughput efficiency, the Fig 14 metric."""
+        return self.throughput_fps / self.power_w
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.model_name} on {self.platform_name}:",
+            f"  latency      {self.latency_s * 1e3:9.3f} ms/image",
+            f"  throughput   {self.throughput_fps:9.1f} images/s",
+            f"  power        {self.power_w:9.3f} W "
+            f"(static {self.static_power_w:.3f} W)",
+            f"  equiv. perf  {self.equivalent_gops:9.1f} GOPS",
+            f"  efficiency   {self.gops_per_watt:9.1f} GOPS/W, "
+            f"{self.fps_per_watt:.1f} fps/W",
+            f"  weights      {self.model_weight_bytes / 2**20:.3f} MiB "
+            f"({'on-chip' if self.fits_on_chip else 'DRAM overflow'})",
+        ]
+        return "\n".join(lines)
+
+
+def _model_weight_bytes(model: ModelSpec, plan: CompressionPlan) -> float:
+    """On-chip weight footprint under a plan (defining vectors, plan bits)."""
+    return plan.total_compressed_params(model) * plan.weight_bits / 8.0
+
+
+def map_layer(work: LayerWork, platform: PlatformSpec,
+              model_weight_bytes: float,
+              scheme: PipelineScheme) -> LayerReport:
+    """Simulate one layer's work items on a platform."""
+    config = platform.config
+    energy = platform.scaled_energy()
+    fft_block = BasicComputingBlock(config, energy, platform.memory)
+    peripheral = PeripheralComputingBlock(config, energy)
+
+    if work.fft_size > 1:
+        fft_report = fft_block.run_ffts(work.fft_size, work.num_fft)
+    else:
+        fft_report = fft_block.run_ffts(2, 0)  # empty job
+    peripheral_report = peripheral.run(work.cmult, work.cadd, work.scalar_ops)
+
+    # Memory traffic: weights (once per image), activations in/out, and the
+    # FFT intermediate round trips already counted in fft_report.
+    bits = config.data_bits
+    weight_energy = platform.memory.weight_access_energy_j(
+        work.weight_words, bits, model_weight_bytes
+    )
+    activation_energy = platform.memory.buffer_access_energy_j(
+        work.activation_words, bits
+    )
+    traffic_words = (
+        work.weight_words + work.activation_words + fft_report.traffic_words
+    )
+    memory_cycles = -(-int(traffic_words) // config.memory_words_per_cycle)
+    if not platform.memory.fits_on_chip(model_weight_bytes):
+        overflow = 1.0 - (
+            platform.memory.on_chip_capacity_bytes / model_weight_bytes
+        )
+        extra = work.weight_words * overflow * (
+            platform.memory.dram_bandwidth_penalty - 1.0
+        )
+        memory_cycles += -(-int(extra) // config.memory_words_per_cycle)
+
+    # Register energy of intra-level pipelining (0 for inter-level).
+    register_energy = (
+        fft_report.butterflies
+        * scheme.register_writes_per_butterfly
+        * energy.register_energy_j
+    )
+
+    # The three engines stream concurrently within a layer.
+    cycles = int(
+        scheme.effective_cycles(
+            max(fft_report.cycles, peripheral_report.cycles, memory_cycles)
+        )
+    )
+    compute_energy = (
+        fft_report.compute_energy_j
+        + peripheral_report.energy_j
+        + register_energy
+    )
+    memory_energy = (
+        fft_report.traffic_energy_j
+        + fft_report.twiddle_energy_j
+        + weight_energy
+        + activation_energy
+    )
+    return LayerReport(
+        name=work.name,
+        kind=work.kind,
+        cycles=max(cycles, 1),
+        fft_cycles=fft_report.cycles,
+        peripheral_cycles=peripheral_report.cycles,
+        memory_cycles=memory_cycles,
+        energy_j=compute_energy + memory_energy,
+        compute_energy_j=compute_energy,
+        memory_energy_j=memory_energy,
+        dense_macs=work.dense_macs,
+    )
+
+
+def map_model(model: ModelSpec, plan: CompressionPlan,
+              platform: PlatformSpec,
+              scheme: str | PipelineScheme = "inter_level") -> InferenceReport:
+    """Simulate a whole model under a compression plan on a platform.
+
+    Parameters
+    ----------
+    model, plan:
+        Shape descriptor and per-layer block sizes.
+    platform:
+        Platform constants (see :mod:`repro.arch.platforms`).
+    scheme:
+        Pipelining scheme name or object (§4.3); the default matches the
+        paper's 200 MHz prototypes.
+    """
+    if isinstance(scheme, str):
+        scheme = pipeline_scheme(scheme)
+    weight_bytes = _model_weight_bytes(model, plan)
+    layers = tuple(
+        map_layer(work, platform, weight_bytes, scheme)
+        for work in model_work(model, plan)
+    )
+    return InferenceReport(
+        model_name=model.name,
+        platform_name=platform.name,
+        layers=layers,
+        frequency_hz=scheme.effective_frequency(platform.config.frequency_hz),
+        static_power_w=platform.static_power_w,
+        model_weight_bytes=weight_bytes,
+        fits_on_chip=platform.memory.fits_on_chip(weight_bytes),
+    )

@@ -1,0 +1,68 @@
+"""Peripheral computing block (paper §4.2).
+
+Handles everything of linear complexity: the frequency-domain element-wise
+multiplies ("component-wise multiplication"), accumulations, bias adds,
+ReLU and pooling comparators — and, in this model, the scalar-MAC fallback
+for layers left uncompressed (k = 1), which have no FFT structure to run
+on the basic block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.energy import EnergyModel
+from repro.arch.spec import ArchitectureConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PeripheralJobReport:
+    """Cycles and energy for one layer's peripheral work."""
+
+    cycles: int
+    energy_j: float
+
+
+class PeripheralComputingBlock:
+    """Cycle/energy model of the element-wise / comparator units."""
+
+    def __init__(self, config: ArchitectureConfig, energy: EnergyModel):
+        self.config = config
+        self.energy = energy
+
+    def run(self, cmult: int, cadd: int, scalar_ops: int) -> PeripheralJobReport:
+        """Execute a layer's peripheral work.
+
+        Parameters
+        ----------
+        cmult:
+            Complex element-wise multiplies (4 scalar multipliers each; a
+            bank of ``multipliers`` scalar units retires
+            ``multipliers / 4`` complex products per cycle).
+        cadd:
+            Complex accumulations (2 scalar adds each, on the ALU bank).
+        scalar_ops:
+            Plain scalar ops (bias adds, comparators, k=1 MACs), retired
+            by multipliers and ALUs together.
+        """
+        if min(cmult, cadd, scalar_ops) < 0:
+            raise ConfigurationError("work counts must be non-negative")
+        cfg = self.config
+        cmult_cycles = -(-cmult * 4 // cfg.multipliers) if cmult else 0
+        cadd_cycles = -(-cadd * 2 // cfg.alus) if cadd else 0
+        # Scalar work (dense MACs, comparators) uses both unit banks.
+        scalar_units = cfg.multipliers + cfg.alus
+        scalar_cycles = -(-scalar_ops // scalar_units) if scalar_ops else 0
+        energy = (
+            cmult * self.energy.complex_mult_energy_j
+            + cadd * 2 * self.energy.add_energy_j
+            # Scalar ops average a multiply and an add (MACs) or a compare
+            # (costed as an add); use the MAC mean halved as the blended
+            # per-op energy.
+            + scalar_ops * 0.5 * self.energy.mac_energy_j
+        )
+        return PeripheralJobReport(
+            cycles=cmult_cycles + cadd_cycles + scalar_cycles,
+            energy_j=energy,
+        )

@@ -1,0 +1,89 @@
+"""Pipelining schemes (paper §4.3, Fig 12).
+
+Two techniques are modelled:
+
+- **Inter-level pipelining** — one pipeline stage per butterfly level of
+  the basic computing block. This is the depth-``d`` machinery already in
+  :mod:`repro.arch.computing_block`; it reduces memory round trips by a
+  factor ``d`` at the cost of ``d`` level's worth of butterfly hardware.
+  The paper uses this scheme for its ~200 MHz prototypes.
+- **Intra-level pipelining** — extra register stages *inside* each
+  butterfly unit (splitting the complex multiply-add cascade). It raises
+  the achievable clock frequency (shorter critical path) and adds a small
+  per-butterfly register energy.
+
+:func:`pipeline_scheme` returns the frequency multiplier and per-butterfly
+register overhead of each scheme so the mapper and the design optimiser
+can compare them, as the paper does when concluding inter-level pipelining
+suffices at 200 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineScheme:
+    """Frequency/energy implications of a pipelining choice.
+
+    Attributes
+    ----------
+    name:
+        "inter_level" or "intra_level".
+    frequency_multiplier:
+        Achievable clock relative to the unpipelined butterfly path.
+    register_writes_per_butterfly:
+        Extra pipeline-register word writes per butterfly (energy cost).
+    control_overhead:
+        Fractional cycle overhead of the scheme's control logic (pipeline
+        bubbles); the paper notes deeper control raises this.
+    """
+
+    name: str
+    frequency_multiplier: float
+    register_writes_per_butterfly: int
+    control_overhead: float
+
+    def effective_frequency(self, base_frequency_hz: float) -> float:
+        """Clock this scheme reaches from a base (unpipelined) frequency."""
+        return base_frequency_hz * self.frequency_multiplier
+
+    def effective_cycles(self, cycles: int) -> float:
+        """Cycle count inflated by control overhead (bubbles)."""
+        return cycles * (1.0 + self.control_overhead)
+
+
+#: Stage split of the butterfly cascade under intra-level pipelining:
+#: Mult1 | Mult2 | Add | Add (Fig 12b) -> ~2x shorter critical path.
+_SCHEMES = {
+    # One stage per level; the butterfly's mult->add cascade sets the
+    # critical path, so the base frequency applies unchanged.
+    "inter_level": PipelineScheme(
+        name="inter_level",
+        frequency_multiplier=1.0,
+        register_writes_per_butterfly=0,
+        control_overhead=0.0,
+    ),
+    # Registers inside the butterfly halve the critical path (~2x clock)
+    # at 4 extra register writes per butterfly and a little control
+    # overhead from the deeper pipeline.
+    "intra_level": PipelineScheme(
+        name="intra_level",
+        frequency_multiplier=2.0,
+        register_writes_per_butterfly=4,
+        control_overhead=0.05,
+    ),
+}
+
+
+def pipeline_scheme(name: str) -> PipelineScheme:
+    """Look up a pipelining scheme by name."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pipeline scheme {name!r}; available: {sorted(_SCHEMES)}"
+        ) from None

@@ -1,0 +1,100 @@
+"""Perf(p, d) / Power(p, d) closures for design optimisation (paper §4.3).
+
+The paper optimises the basic computing block by maximising a metric
+``M(Perf(p, d), Power(p, d))`` where performance rises (sub-linearly,
+because of memory bandwidth) with p and d and power is "a close-to-linear
+function of p*d accounting for both static and dynamic components". This
+module evaluates both on a reference workload by running the full mapper,
+so the design optimiser (Algorithm 3) searches the same model the rest of
+the evaluation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.arch.mapping import InferenceReport, map_model
+from repro.arch.platforms import PlatformSpec
+from repro.errors import ConfigurationError
+from repro.models.descriptors import CompressionPlan, ModelSpec
+
+
+@dataclass(frozen=True)
+class PerfPowerPoint:
+    """Performance/power of one (p, d) configuration on the workload."""
+
+    parallelism: int
+    depth: int
+    performance_gops: float
+    power_w: float
+    latency_s: float
+
+    @property
+    def efficiency_gops_per_watt(self) -> float:
+        return self.performance_gops / self.power_w
+
+
+class PerfPowerModel:
+    """Evaluates Perf(p, d) and Power(p, d) for a workload on a platform.
+
+    The metric ``M`` defaults to energy-delay-style
+    ``performance / power`` (GOPS/W), the quantity all of §5 reports;
+    callers may supply any ``metric(perf_gops, power_w) -> float``.
+    """
+
+    def __init__(self, platform: PlatformSpec, model: ModelSpec,
+                 plan: CompressionPlan,
+                 metric: Callable[[float, float], float] | None = None):
+        self.platform = platform
+        self.model = model
+        self.plan = plan
+        self.metric = metric if metric is not None else (
+            lambda perf, power: perf / power
+        )
+        self._cache: dict[tuple[int, int], PerfPowerPoint] = {}
+
+    def _platform_with(self, parallelism: int, depth: int) -> PlatformSpec:
+        config = self.platform.config.with_pd(parallelism, depth)
+        # Static power grows with instantiated butterfly hardware: a fixed
+        # platform floor plus a per-unit share calibrated so the §4.3
+        # example's "<10% power for 2x p" holds on the FPGA platform.
+        base_units = self.platform.config.butterfly_units
+        unit_share = 0.20 * self.platform.static_power_w / max(1, base_units)
+        static = (
+            0.80 * self.platform.static_power_w
+            + unit_share * parallelism * depth
+        )
+        return replace(self.platform, config=config, static_power_w=static)
+
+    def evaluate(self, parallelism: int, depth: int) -> PerfPowerPoint:
+        """Perf/Power at one (p, d) point (memoised)."""
+        if parallelism < 1 or depth < 1:
+            raise ConfigurationError("p and d must be >= 1")
+        key = (parallelism, depth)
+        if key not in self._cache:
+            platform = self._platform_with(parallelism, depth)
+            report: InferenceReport = map_model(
+                self.model, self.plan, platform
+            )
+            self._cache[key] = PerfPowerPoint(
+                parallelism=parallelism,
+                depth=depth,
+                performance_gops=report.equivalent_gops,
+                power_w=report.power_w,
+                latency_s=report.latency_s,
+            )
+        return self._cache[key]
+
+    def performance(self, parallelism: int, depth: int) -> float:
+        """Perf(p, d) in equivalent GOPS."""
+        return self.evaluate(parallelism, depth).performance_gops
+
+    def power(self, parallelism: int, depth: int) -> float:
+        """Power(p, d) in watts."""
+        return self.evaluate(parallelism, depth).power_w
+
+    def objective(self, parallelism: int, depth: int) -> float:
+        """The metric M(Perf, Power) Algorithm 3 maximises."""
+        point = self.evaluate(parallelism, depth)
+        return self.metric(point.performance_gops, point.power_w)

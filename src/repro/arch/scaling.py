@@ -1,0 +1,73 @@
+"""Multi-engine throughput scaling (paper §5.1).
+
+The paper's answer to ESE's throughput lead: "we can increase the number
+of FPGAs to process multiple neural networks in parallel, thereby
+improving the throughput without incurring any degradation in the energy
+efficiency". This module models that replication: N independent engines
+each run their own stream, so throughput and power scale by N and
+GOPS/W is invariant (modulo a shared-infrastructure overhead knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.mapping import InferenceReport
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScaledDeployment:
+    """N replicas of one engine running independent streams."""
+
+    base: InferenceReport
+    num_engines: int
+    shared_overhead_w: float = 0.0
+
+    def __post_init__(self):
+        if self.num_engines < 1:
+            raise ConfigurationError(
+                f"num_engines must be >= 1, got {self.num_engines}"
+            )
+        if self.shared_overhead_w < 0:
+            raise ConfigurationError("shared overhead must be non-negative")
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate frames per second across the replicas."""
+        return self.base.throughput_fps * self.num_engines
+
+    @property
+    def power_w(self) -> float:
+        """Aggregate power: per-engine power times N, plus shared parts
+        (host interface, board regulators)."""
+        return self.base.power_w * self.num_engines + self.shared_overhead_w
+
+    @property
+    def equivalent_gops(self) -> float:
+        """Aggregate equivalent performance."""
+        return self.base.equivalent_gops * self.num_engines
+
+    @property
+    def gops_per_watt(self) -> float:
+        """Energy efficiency of the deployment.
+
+        Equals the single-engine efficiency when ``shared_overhead_w`` is
+        zero — the paper's "without incurring any degradation" claim — and
+        degrades gracefully otherwise.
+        """
+        return self.equivalent_gops / self.power_w
+
+    @property
+    def latency_s(self) -> float:
+        """Per-image latency is unchanged — replication buys throughput,
+        not latency (each image still traverses one engine)."""
+        return self.base.latency_s
+
+
+def engines_needed_for_throughput(base: InferenceReport,
+                                  target_fps: float) -> int:
+    """Smallest replica count reaching a target aggregate frame rate."""
+    if target_fps <= 0:
+        raise ConfigurationError(f"target_fps must be > 0, got {target_fps}")
+    return max(1, -(-int(target_fps * 1e9) // int(base.throughput_fps * 1e9)))

@@ -1,0 +1,92 @@
+"""Architecture configuration — the paper's design knobs (§4.1–4.3).
+
+``parallelism`` (p) and ``depth`` (d) are the two parameters of the basic
+computing block (Fig 10): p butterfly units operate in parallel within a
+level, d consecutive butterfly levels are kept in the pipeline before
+results round-trip through memory. The remaining fields size the
+peripheral block and the memory interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """One design point of the CirCNN engine.
+
+    Attributes
+    ----------
+    parallelism:
+        ``p`` — butterfly units per pipeline level.
+    depth:
+        ``d`` — butterfly levels resident in the pipeline. The paper keeps
+        ``d <= 3`` ("a d value higher than 3 will result in high control
+        difficulty and pipelining bubbles").
+    frequency_hz:
+        Target clock. The paper's prototypes target ~200 MHz.
+    multipliers:
+        Peripheral-block scalar multipliers (element-wise products and the
+        MAC fallback for uncompressed k=1 layers).
+    alus:
+        Peripheral-block adders/comparators (bias, ReLU, pooling).
+    memory_words_per_cycle:
+        On-chip memory bandwidth in 1-word lanes per cycle.
+    data_bits:
+        Datapath word length (16 in the paper; 4 in the near-threshold
+        study).
+    max_depth:
+        Control-complexity bound on d (paper: 3).
+    """
+
+    parallelism: int
+    depth: int
+    frequency_hz: float
+    multipliers: int
+    alus: int
+    memory_words_per_cycle: int
+    data_bits: int = 16
+    max_depth: int = 3
+
+    def __post_init__(self):
+        if self.parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if not 1 <= self.depth <= self.max_depth:
+            raise ConfigurationError(
+                f"depth must be in [1, {self.max_depth}], got {self.depth}"
+            )
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be > 0, got {self.frequency_hz}"
+            )
+        if self.multipliers < 1 or self.alus < 1:
+            raise ConfigurationError("multipliers and alus must be >= 1")
+        if self.memory_words_per_cycle < 1:
+            raise ConfigurationError("memory_words_per_cycle must be >= 1")
+        if self.data_bits < 2:
+            raise ConfigurationError(f"data_bits must be >= 2, got {self.data_bits}")
+
+    def with_pd(self, parallelism: int | None = None,
+                depth: int | None = None) -> "ArchitectureConfig":
+        """Copy with new (p, d) — the design-space-exploration helper."""
+        return replace(
+            self,
+            parallelism=self.parallelism if parallelism is None else parallelism,
+            depth=self.depth if depth is None else depth,
+        )
+
+    @property
+    def butterfly_units(self) -> int:
+        """Physical butterfly units instantiated: ``p * d``."""
+        return self.parallelism * self.depth
+
+    def __str__(self) -> str:
+        return (
+            f"ArchitectureConfig(p={self.parallelism}, d={self.depth}, "
+            f"f={self.frequency_hz / 1e6:.0f}MHz, bits={self.data_bits})"
+        )

@@ -1,0 +1,44 @@
+"""Block-circulant matrices — the paper's core contribution (§3, Figs 1/4/5).
+
+- :mod:`repro.circulant.circulant` — a single ``k × k`` circulant matrix
+  defined by one length-``k`` vector, with FFT-based products.
+- :mod:`repro.circulant.block` — an ``m × n`` matrix partitioned into a
+  ``p × q`` grid of circulant blocks (with zero padding when ``k`` does not
+  divide the shape), storage accounting, and dense round-trips.
+- :mod:`repro.circulant.ops` — the batched FFT-domain kernels behind
+  Algorithms 1 and 2: forward ``a_i = Σ_j IFFT(FFT(w_ij) ∘ FFT(x_j))`` and
+  the two backward products, vectorised over a batch.
+- :mod:`repro.circulant.projection` — least-squares projection of a dense
+  matrix onto the (block-)circulant set, used to initialise compressed
+  layers from dense ones and by the baselines.
+"""
+
+from repro.circulant.circulant import CirculantMatrix
+from repro.circulant.block import BlockCirculantMatrix
+from repro.circulant.ops import (
+    block_circulant_backward,
+    block_circulant_forward,
+    block_dims,
+    expand_to_dense,
+    partition_vector,
+    unpartition_vector,
+)
+from repro.circulant.projection import (
+    nearest_block_circulant,
+    nearest_circulant_vector,
+)
+from repro.circulant.toeplitz import ToeplitzMatrix
+
+__all__ = [
+    "CirculantMatrix",
+    "BlockCirculantMatrix",
+    "block_circulant_forward",
+    "block_circulant_backward",
+    "block_dims",
+    "expand_to_dense",
+    "partition_vector",
+    "unpartition_vector",
+    "nearest_block_circulant",
+    "nearest_circulant_vector",
+    "ToeplitzMatrix",
+]

@@ -1,0 +1,174 @@
+"""Block-circulant matrix container (paper §3.1, Figs 1 and 4b).
+
+:class:`BlockCirculantMatrix` wraps the defining-vector array ``(p, q, k)``
+with shape metadata (the logical ``m × n`` size, including padding when
+``k`` does not divide the dimensions) and exposes dense round-trips, FFT
+products, and the storage accounting behind Fig 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circulant.ops import (
+    block_circulant_forward,
+    block_dims,
+    expand_to_dense,
+    partition_vector,
+    unpartition_vector,
+)
+from repro.circulant.projection import nearest_block_circulant
+from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
+from repro.utils.rng import make_rng
+
+
+class BlockCirculantMatrix:
+    """An ``m × n`` matrix represented by ``p × q`` circulant blocks.
+
+    Parameters
+    ----------
+    weights:
+        Defining vectors, shape ``(p, q, k)`` — the first column of each
+        circulant block.
+    m, n:
+        Logical matrix shape. Must satisfy ``p = ceil(m/k)`` and
+        ``q = ceil(n/k)``; rows/columns beyond ``m``/``n`` are padding that
+        products ignore.
+    """
+
+    def __init__(self, weights: np.ndarray, m: int, n: int):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 3:
+            raise ShapeError(
+                f"weights must be (p, q, k), got shape {weights.shape}"
+            )
+        p, q, k = weights.shape
+        expected_p, expected_q = block_dims(m, n, k)
+        if (p, q) != (expected_p, expected_q):
+            raise ShapeError(
+                f"block grid {p}x{q} does not match shape ({m}, {n}) with "
+                f"k={k}; expected {expected_p}x{expected_q}"
+            )
+        self.weights = weights
+        self.m = m
+        self.n = n
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def random(cls, m: int, n: int, k: int, scale: float | None = None,
+               seed=None) -> "BlockCirculantMatrix":
+        """Gaussian-initialised block-circulant matrix.
+
+        ``scale`` defaults to ``sqrt(1 / n)`` so that the *expanded* dense
+        matrix has entry variance comparable to standard dense
+        initialisation (each expanded entry is one stored parameter).
+        """
+        rng = make_rng(seed)
+        p, q = block_dims(m, n, k)
+        if scale is None:
+            scale = float(np.sqrt(1.0 / n))
+        weights = rng.normal(0.0, scale, size=(p, q, k))
+        return cls(weights, m, n)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, k: int) -> "BlockCirculantMatrix":
+        """Least-squares projection of a dense matrix (see
+        :func:`repro.circulant.projection.nearest_block_circulant`)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ShapeError(f"expected 2-D matrix, got shape {dense.shape}")
+        m, n = dense.shape
+        return cls(nearest_block_circulant(dense, k), m, n)
+
+    # -- metadata ---------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical matrix shape ``(m, n)``."""
+        return (self.m, self.n)
+
+    @property
+    def block_size(self) -> int:
+        """Circulant block size ``k``."""
+        return self.weights.shape[2]
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """Block grid ``(p, q)``."""
+        return self.weights.shape[0], self.weights.shape[1]
+
+    @property
+    def num_parameters(self) -> int:
+        """Stored parameters: ``p * q * k`` (the paper's O(n) storage)."""
+        return int(self.weights.size)
+
+    @property
+    def dense_parameters(self) -> int:
+        """Parameters of the equivalent unstructured matrix: ``m * n``."""
+        return self.m * self.n
+
+    @property
+    def compression_ratio(self) -> float:
+        """Parameter-count reduction versus the dense matrix.
+
+        For divisible shapes this equals the block size ``k`` (Fig 1's
+        "larger block size leads to high compression ratio").
+        """
+        return self.dense_parameters / self.num_parameters
+
+    # -- algebra ----------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the logical ``m × n`` dense matrix."""
+        return expand_to_dense(self.weights, self.m, self.n)
+
+    def matvec(self, x: np.ndarray, backend=None) -> np.ndarray:
+        """``W @ x`` for a vector or ``(batch, n)`` matrix of vectors."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[np.newaxis, :]
+        if x.shape[-1] != self.n:
+            raise ShapeError(
+                f"matvec expects inputs of length {self.n}, got {x.shape[-1]}"
+            )
+        p, q = self.grid
+        blocks = partition_vector(x, self.block_size, q)
+        out_blocks = block_circulant_forward(self.weights, blocks, backend)
+        out = unpartition_vector(out_blocks, self.m)
+        return out[0] if single else out
+
+    def rmatvec(self, y: np.ndarray, backend=None) -> np.ndarray:
+        """``W.T @ y`` — used by backward passes and by tests.
+
+        The transpose of a block-circulant matrix is block-circulant with
+        the transposed grid and each block's defining vector index-reversed;
+        we evaluate it directly in the frequency domain via conjugation.
+        """
+        be = get_backend(backend)
+        y = np.asarray(y, dtype=np.float64)
+        single = y.ndim == 1
+        if single:
+            y = y[np.newaxis, :]
+        if y.shape[-1] != self.m:
+            raise ShapeError(
+                f"rmatvec expects inputs of length {self.m}, got {y.shape[-1]}"
+            )
+        p, q = self.grid
+        k = self.block_size
+        y_blocks = partition_vector(y, k, p)
+        wf = be.rfft(self.weights)
+        yf = be.rfft(y_blocks)
+        xf = np.einsum("pqf,bpf->bqf", np.conj(wf), yf)
+        x_blocks = be.irfft(xf, n=k)
+        out = unpartition_vector(x_blocks, self.n)
+        return out[0] if single else out
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def __repr__(self) -> str:
+        p, q = self.grid
+        return (
+            f"BlockCirculantMatrix(shape={self.shape}, k={self.block_size}, "
+            f"grid={p}x{q}, params={self.num_parameters})"
+        )

@@ -1,0 +1,137 @@
+"""A single circulant matrix defined by one length-``k`` vector.
+
+Convention
+----------
+We store the **first column** ``c`` and define ``W[i, j] = c[(i - j) mod k]``,
+so the product is the circular convolution ``W @ x = c ⊛ x`` and the
+circulant-convolution theorem used throughout the paper,
+
+    W @ x = IFFT(FFT(c) ∘ FFT(x)),
+
+holds exactly. The paper's text stores the *first row*; the two conventions
+differ only by an index reversal of the stored vector (``first_row[i] ==
+first_column[(-i) mod k]``), which training absorbs —
+:meth:`CirculantMatrix.from_first_row` converts explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
+
+
+class CirculantMatrix:
+    """A ``k × k`` circulant matrix stored as its defining first column."""
+
+    def __init__(self, defining_vector: np.ndarray):
+        vec = np.asarray(defining_vector, dtype=np.float64)
+        if vec.ndim != 1 or vec.size == 0:
+            raise ShapeError(
+                f"defining vector must be 1-D and non-empty, got shape {vec.shape}"
+            )
+        self.defining_vector = vec
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_first_row(cls, first_row: np.ndarray) -> "CirculantMatrix":
+        """Build from the paper's first-row convention.
+
+        The first row ``r`` of a circulant matrix whose first column is
+        ``c`` satisfies ``r[j] = c[(-j) mod k]``.
+        """
+        row = np.asarray(first_row, dtype=np.float64)
+        if row.ndim != 1 or row.size == 0:
+            raise ShapeError(
+                f"first row must be 1-D and non-empty, got shape {row.shape}"
+            )
+        return cls(np.roll(row[::-1], 1))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CirculantMatrix":
+        """Least-squares projection of a square dense matrix (see
+        :func:`repro.circulant.projection.nearest_circulant_vector`)."""
+        from repro.circulant.projection import nearest_circulant_vector
+
+        return cls(nearest_circulant_vector(dense))
+
+    # -- views ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Matrix dimension ``k``."""
+        return self.defining_vector.size
+
+    @property
+    def first_row(self) -> np.ndarray:
+        """The first row under the paper's convention."""
+        c = self.defining_vector
+        return np.roll(c[::-1], 1)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full ``k × k`` matrix (O(k^2) memory)."""
+        k = self.size
+        i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        return self.defining_vector[(i - j) % k]
+
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of a circulant matrix: the DFT of its first column."""
+        return np.fft.fft(self.defining_vector)
+
+    # -- algebra ----------------------------------------------------------
+    def matvec(self, x: np.ndarray, backend=None) -> np.ndarray:
+        """``W @ x`` via the circulant-convolution theorem.
+
+        ``x`` may carry leading batch axes; the product is applied along
+        the last axis. For power-of-two ``k`` the ``"radix2"`` backend runs
+        the from-scratch kernel; the numpy backend handles any ``k``.
+        """
+        be = get_backend(backend)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.size:
+            raise ShapeError(
+                f"matvec expects last axis {self.size}, got {x.shape[-1]}"
+            )
+        cf = be.rfft(self.defining_vector)
+        xf = be.rfft(x)
+        return be.irfft(cf * xf, n=self.size)
+
+    def rmatvec(self, y: np.ndarray, backend=None) -> np.ndarray:
+        """``W.T @ y`` — circular cross-correlation with the first column."""
+        be = get_backend(backend)
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape[-1] != self.size:
+            raise ShapeError(
+                f"rmatvec expects last axis {self.size}, got {y.shape[-1]}"
+            )
+        cf = be.rfft(self.defining_vector)
+        yf = be.rfft(y)
+        return be.irfft(np.conj(cf) * yf, n=self.size)
+
+    def __matmul__(self, other):
+        """Product with a vector/batch or another circulant matrix.
+
+        Circulant matrices are closed under multiplication (they share the
+        Fourier eigenbasis), so ``CirculantMatrix @ CirculantMatrix`` is
+        again circulant with element-wise multiplied spectra.
+        """
+        if isinstance(other, CirculantMatrix):
+            if other.size != self.size:
+                raise ShapeError(
+                    f"size mismatch: {self.size} vs {other.size}"
+                )
+            prod = np.fft.irfft(
+                np.fft.rfft(self.defining_vector)
+                * np.fft.rfft(other.defining_vector),
+                n=self.size,
+            )
+            return CirculantMatrix(prod)
+        return self.matvec(other)
+
+    @property
+    def num_parameters(self) -> int:
+        """Stored parameters: ``k`` instead of the dense ``k^2``."""
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"CirculantMatrix(k={self.size})"

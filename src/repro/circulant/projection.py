@@ -1,0 +1,86 @@
+"""Least-squares projection of dense matrices onto (block-)circulant sets.
+
+CirCNN trains block-circulant weights directly (no conversion step), but
+projection is still needed in three places: initialising a compressed layer
+from a pre-trained dense one, the single-circulant baseline of Cheng et
+al. [54], and tests of the approximation behaviour (§3.3). The projection
+minimising the Frobenius distance to a circulant matrix simply averages
+each circulant diagonal:
+
+    c[d] = mean{ W[i, j] : (i - j) mod k == d }.
+
+For partially filled blocks (padding region of a non-divisible layer) the
+mean runs over the *valid* entries only, which remains the least-squares
+optimum when padded entries are unconstrained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import ensure_positive
+
+
+def nearest_circulant_vector(dense: np.ndarray,
+                             valid_rows: int | None = None,
+                             valid_cols: int | None = None) -> np.ndarray:
+    """First-column vector of the circulant matrix closest to ``dense``.
+
+    Parameters
+    ----------
+    dense:
+        Square ``k × k`` array (possibly containing padding garbage outside
+        the valid region).
+    valid_rows / valid_cols:
+        Size of the meaningful top-left region; defaults to the full block.
+
+    Returns
+    -------
+    Length-``k`` defining vector (first column).
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ShapeError(f"expected a square matrix, got shape {dense.shape}")
+    k = dense.shape[0]
+    rows = k if valid_rows is None else valid_rows
+    cols = k if valid_cols is None else valid_cols
+    if not (0 < rows <= k and 0 < cols <= k):
+        raise ShapeError(
+            f"valid region ({rows}, {cols}) out of range for block size {k}"
+        )
+    i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+    diag = (i - j) % k
+    valid = (i < rows) & (j < cols)
+    sums = np.bincount(diag[valid], weights=dense[valid], minlength=k)
+    counts = np.bincount(diag[valid], minlength=k)
+    vector = np.zeros(k, dtype=np.float64)
+    nonzero = counts > 0
+    vector[nonzero] = sums[nonzero] / counts[nonzero]
+    return vector
+
+
+def nearest_block_circulant(dense: np.ndarray, k: int) -> np.ndarray:
+    """Project an ``m × n`` dense matrix onto the block-circulant set.
+
+    Returns the defining-vector array ``(p, q, k)`` whose expansion (see
+    :func:`repro.circulant.ops.expand_to_dense`) is the closest
+    block-circulant matrix to ``dense`` in Frobenius norm, handling
+    partially filled edge blocks.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {dense.shape}")
+    ensure_positive(k, "block size k")
+    m, n = dense.shape
+    p, q = -(-m // k), -(-n // k)
+    w = np.zeros((p, q, k), dtype=np.float64)
+    for bi in range(p):
+        for bj in range(q):
+            r0, c0 = bi * k, bj * k
+            rows = min(k, m - r0)
+            cols = min(k, n - c0)
+            block = np.zeros((k, k), dtype=np.float64)
+            block[:rows, :cols] = dense[r0 : r0 + rows, c0 : c0 + cols]
+            w[bi, bj] = nearest_circulant_vector(block, rows, cols)
+    return w

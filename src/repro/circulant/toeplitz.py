@@ -1,0 +1,137 @@
+"""Toeplitz matrices via circulant embedding — the LDR generalisation hook.
+
+§3.3 proves universal approximation "more generally, for arbitrary
+structured matrices satisfying the low displacement rank γ" [43].
+Circulant matrices are the γ = 1 special case; Toeplitz matrices (constant
+diagonals, 2k − 1 free parameters) are the next member of that family and
+the classic example of a structured matrix that still multiplies in
+O(k log k): embed the k×k Toeplitz matrix into a 2k×2k circulant and reuse
+the same FFT kernel.
+
+This module provides that extension so the library covers the paper's
+"general structured matrix" direction: :class:`ToeplitzMatrix` with exact
+FFT products, dense round-trips, and the least-squares projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
+from repro.utils.validation import next_power_of_two
+
+
+class ToeplitzMatrix:
+    """A ``k × k`` Toeplitz matrix ``T[i, j] = t[i - j]``.
+
+    Stored as the length ``2k − 1`` vector of diagonal values, indexed
+    from ``-(k−1)`` (top-right diagonal) to ``k−1`` (bottom-left):
+    ``first_column = t[0], t[1], ..., t[k-1]`` and
+    ``first_row = t[0], t[-1], ..., t[-(k-1)]``.
+    """
+
+    def __init__(self, first_column: np.ndarray, first_row: np.ndarray):
+        col = np.asarray(first_column, dtype=np.float64)
+        row = np.asarray(first_row, dtype=np.float64)
+        if col.ndim != 1 or row.ndim != 1 or col.size != row.size:
+            raise ShapeError(
+                "first_column and first_row must be 1-D of equal length, "
+                f"got {col.shape} and {row.shape}"
+            )
+        if col.size == 0:
+            raise ShapeError("Toeplitz matrix must be non-empty")
+        if col[0] != row[0]:
+            raise ShapeError(
+                f"corner mismatch: first_column[0]={col[0]} != "
+                f"first_row[0]={row[0]}"
+            )
+        self.first_column = col
+        self.first_row = row
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "ToeplitzMatrix":
+        """Least-squares Toeplitz projection: average each diagonal."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ShapeError(f"expected square matrix, got {dense.shape}")
+        k = dense.shape[0]
+        column = np.array([np.mean(np.diagonal(dense, -d)) for d in range(k)])
+        row = np.array([np.mean(np.diagonal(dense, d)) for d in range(k)])
+        return cls(column, row)
+
+    @classmethod
+    def random(cls, k: int, scale: float = 1.0, seed=None) -> "ToeplitzMatrix":
+        """Gaussian-initialised Toeplitz matrix."""
+        rng = np.random.default_rng(seed)
+        column = rng.normal(0.0, scale, size=k)
+        row = rng.normal(0.0, scale, size=k)
+        row[0] = column[0]
+        return cls(column, row)
+
+    # -- views ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Matrix dimension ``k``."""
+        return self.first_column.size
+
+    @property
+    def num_parameters(self) -> int:
+        """Free parameters: ``2k − 1`` (vs dense ``k^2``)."""
+        return 2 * self.size - 1
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the ``k × k`` matrix."""
+        k = self.size
+        i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        diff = i - j
+        out = np.where(
+            diff >= 0,
+            self.first_column[np.abs(diff)],
+            self.first_row[np.abs(diff)],
+        )
+        return out.astype(np.float64)
+
+    # -- products -----------------------------------------------------------
+    def _embedding_vector(self, padded: int) -> np.ndarray:
+        """First column of the circulant embedding of size ``padded``.
+
+        The classic construction: ``c = [t_0, t_1, ..., t_{k-1}, 0...0,
+        t_{-(k-1)}, ..., t_{-1}]`` makes the top-left k×k block of the
+        circulant equal to the Toeplitz matrix.
+        """
+        k = self.size
+        vector = np.zeros(padded, dtype=np.float64)
+        vector[:k] = self.first_column
+        if k > 1:
+            vector[padded - (k - 1):] = self.first_row[1:][::-1]
+        return vector
+
+    def matvec(self, x: np.ndarray, backend=None) -> np.ndarray:
+        """``T @ x`` in O(k log k) via the circulant embedding."""
+        be = get_backend(backend)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.size:
+            raise ShapeError(
+                f"matvec expects last axis {self.size}, got {x.shape[-1]}"
+            )
+        k = self.size
+        padded = next_power_of_two(2 * k - 1) if k > 1 else 1
+        circ = self._embedding_vector(padded)
+        x_pad = np.zeros(x.shape[:-1] + (padded,), dtype=np.float64)
+        x_pad[..., :k] = x
+        product = be.irfft(be.rfft(circ) * be.rfft(x_pad), n=padded)
+        return product[..., :k]
+
+    def rmatvec(self, y: np.ndarray, backend=None) -> np.ndarray:
+        """``T.T @ y`` — the transpose is the Toeplitz matrix with column
+        and row swapped."""
+        transpose = ToeplitzMatrix(self.first_row, self.first_column)
+        return transpose.matvec(y, backend)
+
+    def __matmul__(self, x):
+        return self.matvec(x)
+
+    def __repr__(self) -> str:
+        return f"ToeplitzMatrix(k={self.size})"

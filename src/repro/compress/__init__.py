@@ -1,0 +1,59 @@
+"""Compression baselines and storage accounting (paper §2.2–2.4, Fig 7).
+
+- :mod:`repro.compress.storage` — bit-level storage accounting for dense,
+  block-circulant, and pruned representations (including the per-weight
+  index overhead that makes pruning's effective ratio worse, §3.4).
+- :mod:`repro.compress.pruning` — magnitude-based weight pruning in the
+  style of Han et al. [34, 35], the paper's main comparison point.
+- :mod:`repro.compress.svd` — low-rank (SVD) approximation, the paper's
+  "systematic methods" baseline [48–50].
+- :mod:`repro.compress.circulant_projection` — the single large circulant
+  matrix of Cheng et al. [54] (paper Fig 4a), whose zero-padding waste
+  motivated block-circulant matrices.
+"""
+
+from repro.compress.storage import (
+    StorageReport,
+    block_circulant_storage,
+    compression_ratio,
+    dense_storage,
+    fc_only_storage_saving,
+    pruned_storage,
+    whole_model_storage_saving,
+)
+from repro.compress.pruning import (
+    MagnitudePruner,
+    magnitude_mask,
+    prune_network,
+)
+from repro.compress.svd import (
+    LowRankDense,
+    low_rank_factors,
+    low_rank_params,
+    low_rank_reconstruction_error,
+)
+from repro.compress.circulant_projection import (
+    SingleCirculantDense,
+    single_circulant_padded_size,
+    single_circulant_storage_waste,
+)
+
+__all__ = [
+    "StorageReport",
+    "dense_storage",
+    "block_circulant_storage",
+    "pruned_storage",
+    "compression_ratio",
+    "fc_only_storage_saving",
+    "whole_model_storage_saving",
+    "magnitude_mask",
+    "prune_network",
+    "MagnitudePruner",
+    "low_rank_factors",
+    "low_rank_params",
+    "low_rank_reconstruction_error",
+    "LowRankDense",
+    "SingleCirculantDense",
+    "single_circulant_padded_size",
+    "single_circulant_storage_waste",
+]

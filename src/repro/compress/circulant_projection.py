@@ -1,0 +1,126 @@
+"""Single-circulant FC layer — the Cheng et al. [54] baseline (Fig 4a).
+
+The prior work closest to CirCNN represents a whole FC layer by *one*
+square circulant matrix, zero-padding to ``max(m, n)`` when the input and
+output widths differ. The paper's critique (§2.3–2.4, Fig 4): the padding
+wastes storage and computation and offers no block-size accuracy knob.
+This module implements that baseline — trainable, via the same FFT kernels
+— plus the waste accounting the comparison needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
+from repro.nn.initializers import zeros
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+
+
+def single_circulant_padded_size(in_features: int, out_features: int) -> int:
+    """Padded square size of the [54] representation: ``max(m, n)``."""
+    return max(in_features, out_features)
+
+
+def single_circulant_storage_waste(in_features: int,
+                                   out_features: int) -> float:
+    """Fraction of stored parameters that only exist because of padding.
+
+    A block-circulant layer with ``k = min(m, n)`` (the finest grid that
+    avoids padding on the smaller axis, assuming divisibility) would store
+    ``max(m, n)`` useful parameters too, but [54] additionally *computes*
+    over the padded region; the wasted fraction of its size-``s`` spectrum
+    work relative to the useful ``min(m, n)`` rows is ``1 - min/max``.
+    """
+    small = min(in_features, out_features)
+    large = max(in_features, out_features)
+    return 1.0 - small / large
+
+
+class SingleCirculantDense(Module):
+    """FC layer as one circulant matrix over the padded square (``s = max``).
+
+    Forward: zero-pad the input to ``s``, circular-convolve with the single
+    defining vector, truncate to ``out_features``. Gradients follow the
+    same cross-correlation identities as the block-circulant kernels.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed=None, backend=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.size = single_circulant_padded_size(in_features, out_features)
+        self.backend = backend
+        rng = make_rng(seed)
+        self.weight = self.add_parameter(
+            "weight",
+            rng.normal(0.0, np.sqrt(2.0 / in_features), size=(self.size,)),
+        )
+        self.bias = (
+            self.add_parameter("bias", zeros((out_features,))) if bias else None
+        )
+        self._padded_input: np.ndarray | None = None
+
+    @property
+    def dense_parameters(self) -> int:
+        """Parameters of the equivalent unstructured layer."""
+        return self.in_features * self.out_features
+
+    @property
+    def padded_parameters(self) -> int:
+        """Stored parameters including padding: ``max(m, n)``."""
+        return self.size
+
+    def _pad(self, x: np.ndarray, width: int) -> np.ndarray:
+        if x.shape[-1] == width:
+            return x
+        padded = np.zeros(x.shape[:-1] + (width,), dtype=np.float64)
+        padded[..., : x.shape[-1]] = x
+        return padded
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"SingleCirculantDense expects (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        be = get_backend(self.backend)
+        self._padded_input = self._pad(x, self.size)
+        wf = be.rfft(self.weight.value)
+        xf = be.rfft(self._padded_input)
+        out = be.irfft(wf * xf, n=self.size)[:, : self.out_features]
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._padded_input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape[1] != self.out_features:
+            raise ShapeError(
+                f"grad must be (batch, {self.out_features}), "
+                f"got {grad_output.shape}"
+            )
+        be = get_backend(self.backend)
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        grad_padded = self._pad(grad_output, self.size)
+        gf = be.rfft(grad_padded)
+        xf = be.rfft(self._padded_input)
+        wf = be.rfft(self.weight.value)
+        self.weight.grad += be.irfft(
+            np.einsum("bf,bf->f", gf, np.conj(xf)), n=self.size
+        )
+        grad_input = be.irfft(np.conj(wf) * gf, n=self.size)
+        return grad_input[:, : self.in_features]
+
+    def __repr__(self) -> str:
+        return (
+            f"SingleCirculantDense({self.in_features} -> {self.out_features}, "
+            f"padded={self.size})"
+        )

@@ -1,0 +1,135 @@
+"""Magnitude-based weight pruning — the Han et al. [34, 35] baseline.
+
+The paper's critique of pruning (§1, §2.2, Fig 3) is that it yields an
+*irregular* structure needing per-weight indices, adds a prune+retrain
+stage to training, and offers only heuristic compression ratios. This
+module implements the technique so those claims can be measured: masks
+from global magnitude thresholding, mask-preserving fine-tuning, and
+sparsity/storage reporting including index overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compress.storage import StorageReport, pruned_storage
+from repro.errors import ConfigurationError
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.module import Module, Parameter
+from repro.nn.network import Sequential
+
+
+def magnitude_mask(weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean mask keeping the largest-magnitude ``1 - sparsity`` fraction.
+
+    Ties at the threshold are broken arbitrarily but deterministically
+    (argsort order), so exactly ``round(size * sparsity)`` entries drop.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ConfigurationError(f"sparsity must be in [0, 1), got {sparsity}")
+    flat = np.abs(np.asarray(weights)).ravel()
+    drop = round(flat.size * sparsity)
+    mask = np.ones(flat.size, dtype=bool)
+    if drop > 0:
+        mask[np.argsort(flat, kind="stable")[:drop]] = False
+    return mask.reshape(np.shape(weights))
+
+
+def _prunable_parameters(network: Sequential | Module) -> list[Parameter]:
+    """Weight (not bias) parameters of Dense/Conv2D layers."""
+    layers = network.layers if isinstance(network, Sequential) else [network]
+    return [
+        layer.weight
+        for layer in layers
+        if isinstance(layer, (Dense, Conv2D))
+    ]
+
+
+def prune_network(network: Sequential | Module,
+                  sparsity: float) -> dict[int, np.ndarray]:
+    """Zero the smallest weights of every Dense/Conv2D layer in place.
+
+    Returns ``{id(parameter): mask}`` so callers can keep the masks applied
+    during fine-tuning (see :class:`MagnitudePruner`).
+    """
+    masks: dict[int, np.ndarray] = {}
+    for param in _prunable_parameters(network):
+        mask = magnitude_mask(param.value, sparsity)
+        param.value *= mask
+        masks[id(param)] = mask
+    return masks
+
+
+@dataclass
+class SparsityReport:
+    """Aggregate sparsity over the pruned parameters."""
+
+    total_params: int
+    nonzero_params: int
+
+    @property
+    def sparsity(self) -> float:
+        if self.total_params == 0:
+            return 0.0
+        return 1.0 - self.nonzero_params / self.total_params
+
+    @property
+    def parameter_reduction(self) -> float:
+        """Raw parameter-count ratio (ignores index overhead)."""
+        if self.nonzero_params == 0:
+            return float("inf")
+        return self.total_params / self.nonzero_params
+
+
+class MagnitudePruner:
+    """Prune-then-finetune workflow on a network.
+
+    Typical use (mirrors [34]'s train -> prune -> retrain pipeline)::
+
+        pruner = MagnitudePruner(network, sparsity=0.9)
+        pruner.prune()
+        for each fine-tuning step:
+            ... backward + optimizer.step() ...
+            pruner.apply_masks()      # keep pruned weights at zero
+
+    The extra loop is exactly the "increased training complexity" the
+    paper holds against pruning.
+    """
+
+    def __init__(self, network: Sequential | Module, sparsity: float):
+        if not 0.0 <= sparsity < 1.0:
+            raise ConfigurationError(f"sparsity must be in [0, 1), got {sparsity}")
+        self.network = network
+        self.sparsity = sparsity
+        self._masks: list[tuple[Parameter, np.ndarray]] = []
+
+    def prune(self) -> None:
+        """Compute and apply magnitude masks."""
+        self._masks = []
+        for param in _prunable_parameters(self.network):
+            mask = magnitude_mask(param.value, self.sparsity)
+            param.value *= mask
+            self._masks.append((param, mask))
+
+    def apply_masks(self) -> None:
+        """Re-zero pruned positions (call after every optimiser step)."""
+        for param, mask in self._masks:
+            param.value *= mask
+
+    def report(self) -> SparsityReport:
+        """Measured sparsity across the pruned parameters."""
+        params = _prunable_parameters(self.network)
+        total = sum(p.size for p in params)
+        nonzero = sum(int(np.count_nonzero(p.value)) for p in params)
+        return SparsityReport(total_params=total, nonzero_params=nonzero)
+
+    def storage(self, weight_bits: int = 16,
+                index_bits: int = 4) -> StorageReport:
+        """Bit-level footprint including the per-weight index overhead."""
+        report = self.report()
+        return pruned_storage(
+            report.total_params, report.sparsity, weight_bits, index_bits
+        )

@@ -1,0 +1,113 @@
+"""Low-rank (SVD) weight approximation — the "systematic methods" baseline.
+
+The paper cites SVD-style restructuring [48–50] as systematic but
+accuracy-costly ("5%-10% degradation at 10x compression"). This module
+provides the factorisation, its parameter accounting, and a trainable
+factored layer so the trade-off can be measured on the same tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.initializers import zeros
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+
+
+def low_rank_factors(weight: np.ndarray,
+                     rank: int) -> tuple[np.ndarray, np.ndarray]:
+    """Best rank-``r`` factorisation ``W ≈ U @ V`` (Eckart–Young optimal).
+
+    ``U`` is ``(m, r)`` and ``V`` is ``(r, n)``; singular values are split
+    evenly (sqrt) between the factors.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got shape {weight.shape}")
+    if not 1 <= rank <= min(weight.shape):
+        raise ConfigurationError(
+            f"rank must be in [1, {min(weight.shape)}], got {rank}"
+        )
+    u, s, vt = np.linalg.svd(weight, full_matrices=False)
+    root = np.sqrt(s[:rank])
+    return u[:, :rank] * root, (vt[:rank].T * root).T
+
+
+def low_rank_params(m: int, n: int, rank: int) -> int:
+    """Stored parameters of a rank-``r`` factorisation: ``r (m + n)``."""
+    return rank * (m + n)
+
+
+def low_rank_reconstruction_error(weight: np.ndarray, rank: int) -> float:
+    """Relative Frobenius error of the best rank-``r`` approximation."""
+    weight = np.asarray(weight, dtype=np.float64)
+    u, v = low_rank_factors(weight, rank)
+    denom = float(np.linalg.norm(weight))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(weight - u @ v)) / denom
+
+
+class LowRankDense(Module):
+    """FC layer factored as ``y = (x @ V.T) @ U.T + b`` with rank ``r``.
+
+    Trainable; used as a baseline against
+    :class:`~repro.nn.BlockCirculantDense` at matched parameter budgets.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rank: int,
+                 bias: bool = True, seed=None):
+        super().__init__()
+        if not 1 <= rank <= min(in_features, out_features):
+            raise ConfigurationError(
+                f"rank must be in [1, {min(in_features, out_features)}], got {rank}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.rank = rank
+        rng = make_rng(seed)
+        scale_v = np.sqrt(2.0 / in_features)
+        scale_u = np.sqrt(2.0 / rank)
+        self.v = self.add_parameter(
+            "v", rng.normal(0.0, scale_v, size=(rank, in_features))
+        )
+        self.u = self.add_parameter(
+            "u", rng.normal(0.0, scale_u, size=(out_features, rank))
+        )
+        self.bias = (
+            self.add_parameter("bias", zeros((out_features,))) if bias else None
+        )
+        self._input: np.ndarray | None = None
+        self._hidden: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"LowRankDense expects (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        self._hidden = x @ self.v.value.T
+        out = self._hidden @ self.u.value.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None or self._hidden is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        self.u.grad += grad_output.T @ self._hidden
+        grad_hidden = grad_output @ self.u.value
+        self.v.grad += grad_hidden.T @ self._input
+        return grad_hidden @ self.v.value
+
+    def __repr__(self) -> str:
+        return (
+            f"LowRankDense({self.in_features} -> {self.out_features}, "
+            f"rank={self.rank})"
+        )

@@ -1,0 +1,33 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The paper evaluates on MNIST, CIFAR-10, SVHN, STL-10 and ImageNet. No
+datasets can be downloaded in this environment, so
+:mod:`repro.datasets.synthetic` generates class-clustered images with the
+*same tensor shapes and class counts*, which exercise the identical
+training/inference code path (see DESIGN.md §2 for why this preserves the
+claims being reproduced).
+"""
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    SyntheticImageDataset,
+    cifar10_like,
+    dataset_spec,
+    imagenet_spec,
+    make_classification_images,
+    mnist_like,
+    stl10_like,
+    svhn_like,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticImageDataset",
+    "make_classification_images",
+    "mnist_like",
+    "cifar10_like",
+    "svhn_like",
+    "stl10_like",
+    "imagenet_spec",
+    "dataset_spec",
+]

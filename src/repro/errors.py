@@ -1,0 +1,36 @@
+"""Exception hierarchy for the CirCNN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape or size."""
+
+
+class NotPowerOfTwoError(ShapeError):
+    """A transform size is not a power of two.
+
+    The radix-2 FFT kernel (and the CirCNN basic computing block it models)
+    only supports power-of-two sizes; see ``repro.fftcore``.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object (architecture spec, layer spec, ...) is invalid."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure (training, design search) failed to converge."""
+
+
+class BackendError(ReproError, ValueError):
+    """An unknown or unavailable compute backend was requested."""

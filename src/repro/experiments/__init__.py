@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per paper figure / in-text result.
+
+Each experiment function returns an :class:`~repro.experiments.tables.ExperimentTable`
+whose rows pair the paper's reported value (where one exists) with the
+value measured from this reproduction, plus a band check. The registry
+maps experiment ids (``fig7a`` ... ``sec53``) to these functions;
+``benchmarks/`` contains one pytest-benchmark target per id.
+"""
+
+from repro.experiments.tables import BandCheck, ExperimentRow, ExperimentTable
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+from repro.experiments import paper_values
+
+__all__ = [
+    "BandCheck",
+    "ExperimentRow",
+    "ExperimentTable",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "paper_values",
+]

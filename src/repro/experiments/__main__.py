@@ -1,0 +1,58 @@
+"""Command-line entry point for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments fig13      # run one, print its table
+    python -m repro.experiments all        # run everything (slow)
+    python -m repro.experiments all --fast # skip the training-based runs
+
+Exit status is non-zero when any acceptance band fails.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+_SLOW = {"fig7b", "training_speedup"}
+
+
+def _run_one(experiment_id: str) -> bool:
+    table = run_experiment(experiment_id)
+    print(table.render())
+    if table.all_bands_hold:
+        print("   -> all paper bands hold")
+        return True
+    failed = ", ".join(row.label for row in table.failures())
+    print(f"   -> BAND FAILURES: {failed}")
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    fast = "--fast" in argv
+    argv = [a for a in argv if a != "--fast"]
+    if not argv:
+        print("available experiments:")
+        for experiment_id in available_experiments():
+            print(f"  {experiment_id}")
+        print("run with: python -m repro.experiments <id> | all [--fast]")
+        return 0
+    if argv == ["all"]:
+        targets = [
+            e for e in available_experiments()
+            if not (fast and e in _SLOW)
+        ]
+    else:
+        targets = argv
+    ok = True
+    for experiment_id in targets:
+        ok = _run_one(experiment_id) and ok
+        print()
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

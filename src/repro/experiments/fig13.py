@@ -1,0 +1,83 @@
+"""Fig 13: FPGA performance / energy efficiency vs state-of-the-art.
+
+Our side is the AlexNet workload (FC + CONV block plans) mapped onto the
+Cyclone V simulator; the comparison points are the published numbers of
+the four reference systems. The paper's claims, asserted as bands:
+
+- 11-16x energy-efficiency improvement vs the compressed-model designs
+  ([FPGA17-Han ESE], [FPGA17-Zhao]);
+- 60-70x vs the uncompressed designs ([FPGA16], [ICCAD16]);
+- the improvement decomposes into ~10-20x algorithmic and ~2-5x
+  hardware/weight-storage factors (§5.1/§5.4);
+- CirCNN does *not* have the highest raw throughput (ESE does, on a large
+  FPGA with off-chip DRAM) — an honesty check the paper itself makes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import model_work
+from repro.arch.mapping import InferenceReport, map_model
+from repro.arch.platforms import FPGA_REFERENCES, fpga_cyclone_v
+from repro.experiments import paper_values
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.models import alexnet_spec, default_alexnet_full_plan
+
+
+def circnn_fpga_report() -> InferenceReport:
+    """AlexNet under the full (FC+CONV) plan on the Cyclone V platform."""
+    return map_model(
+        alexnet_spec(), default_alexnet_full_plan(), fpga_cyclone_v()
+    )
+
+
+def run_fig13() -> ExperimentTable:
+    """Reproduce the Fig 13 comparison."""
+    table = ExperimentTable(
+        "fig13", "FPGA comparison: equivalent GOPS and GOPS/W"
+    )
+    report = circnn_fpga_report()
+    table.add("CirCNN FPGA performance", report.equivalent_gops, "GOPS",
+              band=BandCheck(low=100.0, high=5000.0),
+              note="Fig 13 places ours in the 10^2-10^3 GOPS decade")
+    table.add("CirCNN FPGA efficiency", report.gops_per_watt, "GOPS/W",
+              band=BandCheck(low=500.0, high=2000.0),
+              note="Fig 13 places ours near 10^3 GOPS/W")
+    table.add("CirCNN FPGA power", report.power_w, "W",
+              band=BandCheck(high=3.0), note="low-power Cyclone V budget")
+
+    compressed_band = BandCheck(8.0, 26.0)    # paper claim 11-16x
+    uncompressed_band = BandCheck(45.0, 95.0)  # paper claim 60-70x
+    for ref in FPGA_REFERENCES:
+        ratio = report.gops_per_watt / ref.gops_per_watt
+        compressed = ref.name in ("FPGA17_Han_ESE", "FPGA17_Zhao")
+        band = compressed_band if compressed else uncompressed_band
+        claim = (
+            paper_values.FIG13_VS_COMPRESSED_BAND
+            if compressed
+            else paper_values.FIG13_VS_UNCOMPRESSED_BAND
+        )
+        table.add(
+            f"EE improvement vs {ref.name}", ratio, "x",
+            paper=sum(claim) / 2.0, band=band,
+            note=f"paper claim {claim[0]:g}-{claim[1]:g}x",
+        )
+    # Honesty check from the paper: ESE retains the raw-throughput lead.
+    ese = next(r for r in FPGA_REFERENCES if r.name == "FPGA17_Han_ESE")
+    table.add(
+        "throughput vs ESE", report.equivalent_gops / ese.gops, "x",
+        band=BandCheck(high=1.0),
+        note="paper: CirCNN 'does not yield the highest throughput'",
+    )
+    # Decomposition: the algorithmic factor is the dense/compressed
+    # operation ratio of the mapped workload (the 10-20x source).
+    works = model_work(alexnet_spec(), default_alexnet_full_plan())
+    fft_layers = [w for w in works if w.fft_size > 1]
+    dense_ops = sum(2 * w.dense_macs for w in fft_layers)
+    compressed_ops = sum(w.total_real_ops for w in fft_layers)
+    table.add(
+        "algorithmic factor (compressed layers)",
+        dense_ops / compressed_ops, "x",
+        band=BandCheck(*paper_values.FIG13_ALGORITHMIC_FACTOR_BAND),
+        note="paper: 10-20x from complexity reduction",
+    )
+    return table

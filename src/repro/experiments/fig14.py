@@ -1,0 +1,116 @@
+"""Fig 14: end-to-end FPGA throughput / efficiency vs IBM TrueNorth.
+
+The paper runs MNIST, CIFAR-10 and SVHN networks end to end on the Cyclone
+V implementation and compares against published TrueNorth results. The
+claims reproduced as checks:
+
+- CirCNN's throughput beats TrueNorth on MNIST and SVHN;
+- CirCNN *loses* on CIFAR-10 because that model "uses small-scale FFTs,
+  which limits the degree of improvements" — our simulator shows the same
+  mechanism (the (p, d) butterfly array is under-utilised by size-4/8
+  transforms);
+- energy efficiency is on the same order of magnitude.
+
+Absolute throughputs of the tiny MNIST/SVHN models are higher in our
+simulator than on the paper's board, which includes host-side frame I/O we
+do not model; the orderings and the CIFAR-10 mechanism are the
+reproduction targets (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.arch.mapping import InferenceReport, map_model
+from repro.arch.platforms import fpga_cyclone_v
+from repro.experiments import paper_values
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.models import (
+    cifar10_convnet_spec,
+    default_fig14_plans,
+    mnist_mlp_spec,
+    svhn_convnet_spec,
+)
+
+#: dataset name -> (model spec builder, plan key).
+_WORKLOADS = {
+    "mnist": mnist_mlp_spec,
+    "cifar10": cifar10_convnet_spec,
+    "svhn": svhn_convnet_spec,
+}
+
+
+def circnn_fig14_reports() -> dict[str, InferenceReport]:
+    """Map the three Fig 14 workloads onto the Cyclone V platform."""
+    platform = fpga_cyclone_v()
+    plans = default_fig14_plans()
+    reports = {}
+    for dataset, builder in _WORKLOADS.items():
+        spec = builder()
+        reports[dataset] = map_model(spec, plans[spec.name], platform)
+    return reports
+
+
+def run_fig14() -> ExperimentTable:
+    """Reproduce the Fig 14 comparison."""
+    table = ExperimentTable(
+        "fig14", "end-to-end throughput and fps/W vs IBM TrueNorth"
+    )
+    reports = circnn_fig14_reports()
+    for dataset, report in reports.items():
+        truenorth = paper_values.TRUENORTH_RESULTS[dataset]
+        ours_paper = paper_values.CIRCNN_FPGA_RESULTS[dataset]
+        ratio = report.throughput_fps / truenorth["fps"]
+        if dataset == "cifar10":
+            band = BandCheck(high=1.0)
+            note = "paper: TrueNorth wins on CIFAR-10 (small FFTs)"
+        else:
+            band = BandCheck(low=1.0)
+            note = "paper: CirCNN wins"
+        table.add(f"{dataset} throughput", report.throughput_fps, "fps",
+                  paper=ours_paper["fps"])
+        table.add(f"{dataset} throughput vs TrueNorth", ratio, "x",
+                  paper=ours_paper["fps"] / truenorth["fps"],
+                  band=band, note=note)
+        table.add(f"{dataset} efficiency", report.fps_per_watt, "fps/W",
+                  paper=ours_paper["fps_per_watt"])
+    # Mechanism check: the CIFAR-10 model's FFT hardware utilisation is
+    # far below the MNIST model's (the paper's stated cause).
+    mnist_util = _fft_lane_utilization("mnist")
+    cifar_util = _fft_lane_utilization("cifar10")
+    table.add("mnist FFT lane utilisation", mnist_util, "frac")
+    table.add("cifar10 FFT lane utilisation", cifar_util, "frac")
+    table.add(
+        "cifar10/mnist FFT utilisation ratio",
+        cifar_util / mnist_util if mnist_util else 0.0, "x",
+        band=BandCheck(high=0.5),
+        note="small-scale FFTs under-utilise the (p,d) array",
+    )
+    return table
+
+
+def _fft_lane_utilization(dataset: str) -> float:
+    """Achieved butterflies per lane-cycle across a workload's FFT layers.
+
+    The basic computing block offers ``p * d`` butterfly slots per cycle;
+    a size-k real transform only fills ``k/4`` lanes per level, so small
+    blocks leave most of the array idle — the quantity this returns.
+    """
+    from repro.analysis.complexity import model_work
+    from repro.arch.computing_block import BasicComputingBlock
+
+    platform = fpga_cyclone_v()
+    plans = default_fig14_plans()
+    spec = _WORKLOADS[dataset]()
+    block = BasicComputingBlock(
+        platform.config, platform.scaled_energy(), platform.memory
+    )
+    butterflies = 0
+    lane_cycles = 0
+    for work in model_work(spec, plans[spec.name]):
+        if work.fft_size <= 1 or work.num_fft == 0:
+            continue
+        job = block.run_ffts(work.fft_size, work.num_fft)
+        butterflies += job.butterflies
+        lane_cycles += job.cycles * block.peak_butterflies_per_cycle()
+    if lane_cycles == 0:
+        return 0.0
+    return butterflies / lane_cycles

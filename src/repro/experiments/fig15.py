@@ -1,0 +1,97 @@
+"""Fig 15: ASIC synthesis comparison (paper §5.2).
+
+Our side is the AlexNet workload on the 45 nm ASIC platform model, plus
+the near-threshold / 4-bit design point; the comparison set is the five
+published ASIC systems and the Jetson TX1 GPU. Bands asserted:
+
+- super-threshold CirCNN beats the best reference energy efficiency by
+  >= 6x and holds the highest throughput among the ASIC points;
+- the near-threshold 4-bit point adds ~17x, for ~102x total;
+- vs Jetson TX1: ~570x (base) and ~9,690x (near-threshold).
+"""
+
+from __future__ import annotations
+
+from repro.arch.mapping import InferenceReport, map_model
+from repro.arch.platforms import (
+    ASIC_REFERENCES,
+    GPU_JETSON_TX1,
+    asic_45nm,
+    asic_45nm_near_threshold,
+    best_reference_efficiency,
+)
+from repro.experiments import paper_values
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.models import alexnet_spec, default_alexnet_full_plan
+
+
+def circnn_asic_reports() -> tuple[InferenceReport, InferenceReport]:
+    """(super-threshold, near-threshold-4-bit) AlexNet ASIC reports."""
+    spec = alexnet_spec()
+    plan = default_alexnet_full_plan()
+    return (
+        map_model(spec, plan, asic_45nm()),
+        map_model(spec, plan, asic_45nm_near_threshold()),
+    )
+
+
+def run_fig15() -> ExperimentTable:
+    """Reproduce the Fig 15 comparison."""
+    table = ExperimentTable("fig15", "ASIC synthesis: GOPS and GOPS/W")
+    base, near_threshold = circnn_asic_reports()
+    best = best_reference_efficiency()
+
+    table.add("CirCNN ASIC performance", base.equivalent_gops, "GOPS")
+    table.add("CirCNN ASIC efficiency", base.gops_per_watt, "GOPS/W")
+    table.add(
+        "throughput vs best ASIC reference",
+        base.equivalent_gops / max(r.gops for r in ASIC_REFERENCES), "x",
+        band=BandCheck(low=1.0),
+        note="paper: 'highest throughput' among ASIC points",
+    )
+    base_ratio = base.gops_per_watt / best.gops_per_watt
+    table.add(
+        f"EE improvement vs best ({best.name})", base_ratio, "x",
+        paper=paper_values.FIG15_BASE_IMPROVEMENT_MIN,
+        band=BandCheck(low=paper_values.FIG15_BASE_IMPROVEMENT_MIN,
+                       high=12.0),
+        note="paper: 'more than 6 times'",
+    )
+    nt_factor = near_threshold.gops_per_watt / base.gops_per_watt
+    table.add(
+        "near-threshold 4-bit factor", nt_factor, "x",
+        paper=paper_values.FIG15_NEAR_THRESHOLD_FACTOR,
+        band=BandCheck(low=12.0, high=25.0),
+        note="paper: 'another 17x'",
+    )
+    total = near_threshold.gops_per_watt / best.gops_per_watt
+    table.add(
+        "total improvement vs best", total, "x",
+        paper=paper_values.FIG15_TOTAL_IMPROVEMENT,
+        band=BandCheck(low=70.0, high=160.0),
+        note="paper: '102x'",
+    )
+    tx1_base = base.gops_per_watt / GPU_JETSON_TX1.gops_per_watt
+    table.add(
+        "EE vs Jetson TX1 (base)", tx1_base, "x",
+        paper=paper_values.FIG15_VS_TX1_BASE,
+        band=BandCheck(low=400.0, high=800.0),
+        note="paper: '570x'",
+    )
+    tx1_nt = near_threshold.gops_per_watt / GPU_JETSON_TX1.gops_per_watt
+    table.add(
+        "EE vs Jetson TX1 (near-threshold)", tx1_nt, "x",
+        paper=paper_values.FIG15_VS_TX1_NT,
+        band=BandCheck(low=7000.0, high=15000.0),
+        note="paper: '9,690x'",
+    )
+    # §5.2's memory observation: "memory in fact consumes slightly less
+    # power consumption compared with computing blocks".
+    memory_energy = sum(l.memory_energy_j for l in base.layers)
+    compute_energy = sum(l.compute_energy_j for l in base.layers)
+    table.add(
+        "memory/compute energy ratio", memory_energy / compute_energy, "x",
+        band=BandCheck(high=1.0),
+        note="paper: weight storage no longer the bottleneck",
+    )
+    return table

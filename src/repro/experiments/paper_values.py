@@ -1,0 +1,100 @@
+"""Every quantitative claim of the paper's evaluation, in one place.
+
+These constants are the reproduction targets. Values come from the paper's
+text and figures (Figs 7, 13, 14, 15; §3.4, §4.3, §5.1–5.3). Where a
+figure reports bars without printed numbers, the value is the printed data
+label in the figure (Fig 14) or the claim band from the prose.
+"""
+
+from __future__ import annotations
+
+# --- §3.4 / Fig 7: compression ---------------------------------------------
+
+#: Fig 7a: FC-layer storage saving band across datasets.
+FIG7A_FC_SAVING_BAND = (400.0, 4000.0)
+
+#: §3.4: whole-DCNN model-size reduction with FC-only block-circulant
+#: weights plus 16-bit quantisation (softmax excluded).
+SEC34_WHOLE_MODEL_BAND = (30.0, 50.0)
+
+#: §3.4: prior-art parameter reductions the paper compares against.
+PRUNING_LENET5_REDUCTION = 12.0   # Han et al. on LeNet-5
+PRUNING_ALEXNET_REDUCTION = 9.0   # Han et al. on AlexNet
+
+#: Fig 7b: accuracy loss of block-circulant FC layers is "negligible";
+#: Fig 7c constrains degradation to 1-2% with tuned block sizes.
+FIG7B_MAX_ACCURACY_DROP = 0.02
+FIG7C_MAX_ACCURACY_DROP = 0.02
+
+#: §3.4: DBN training acceleration band.
+SEC34_DBN_TRAINING_SPEEDUP_BAND = (5.0, 9.0)
+
+# --- §4.3: design-space example ---------------------------------------------
+
+#: Block size of the §4.3 worked example.
+SEC43_BLOCK_SIZE = 128
+#: p: 16 -> 32 at d = 1: performance +53.8%, power increase < 10%.
+SEC43_P_PERF_GAIN = 0.538
+SEC43_P_POWER_LIMIT = 0.10
+#: d: 1 -> 2: performance +62.2%, power +7.8%.
+SEC43_D_PERF_GAIN = 0.622
+SEC43_D_POWER_GAIN = 0.078
+
+# --- §5.1 / Fig 13: FPGA ----------------------------------------------------
+
+#: Energy-efficiency improvement vs compressed-model FPGA accelerators
+#: ([FPGA17-Han ESE], [FPGA17-Zhao]).
+FIG13_VS_COMPRESSED_BAND = (11.0, 16.0)
+#: Energy-efficiency improvement vs uncompressed FPGA accelerators
+#: ([FPGA16], [ICCAD16]).
+FIG13_VS_UNCOMPRESSED_BAND = (60.0, 70.0)
+#: Attribution (§5.1/§5.4): algorithmic complexity reduction 10-20x,
+#: hardware/weight-storage effects 2-5x.
+FIG13_ALGORITHMIC_FACTOR_BAND = (10.0, 20.0)
+FIG13_HARDWARE_FACTOR_BAND = (2.0, 5.0)
+
+# --- Fig 14: TrueNorth comparison -------------------------------------------
+
+#: (throughput fps, energy efficiency fps/W) as printed on Fig 14's bars.
+TRUENORTH_RESULTS = {
+    "mnist": {"fps": 1000.0, "fps_per_watt": 16667.0},
+    "cifar10": {"fps": 1249.0, "fps_per_watt": 6108.6},
+    "svhn": {"fps": 2526.0, "fps_per_watt": 9889.9},
+}
+CIRCNN_FPGA_RESULTS = {
+    "mnist": {"fps": 13698.0, "fps_per_watt": 24905.0},
+    "cifar10": {"fps": 726.0, "fps_per_watt": 1320.0},
+    "svhn": {"fps": 44640.0, "fps_per_watt": 8116.0},
+}
+
+# --- §5.2 / Fig 15: ASIC ----------------------------------------------------
+
+#: Super-threshold synthesis beats the best state-of-the-art EE by >= 6x.
+FIG15_BASE_IMPROVEMENT_MIN = 6.0
+#: Near-threshold 0.55 V + 4-bit gives another ~17x ...
+FIG15_NEAR_THRESHOLD_FACTOR = 17.0
+#: ... for 102x total vs the best state-of-the-art.
+FIG15_TOTAL_IMPROVEMENT = 102.0
+#: vs NVIDIA Jetson TX1: 570x (base) and 9,690x (near-threshold 4-bit).
+FIG15_VS_TX1_BASE = 570.0
+FIG15_VS_TX1_NT = 9690.0
+
+# --- §5.3: embedded ARM -----------------------------------------------------
+
+#: LeNet-5 on MNIST: 0.9 ms/image at 96% accuracy, ~1 W.
+SEC53_LENET_MS_PER_IMAGE = 0.9
+SEC53_LENET_ACCURACY = 0.96
+#: TrueNorth high-accuracy mode: 1,000 images/s.
+SEC53_TRUENORTH_FPS = 1000.0
+#: Tesla C2075: 2,333 images/s at 202.5 W.
+SEC53_GPU_FPS = 2333.0
+SEC53_GPU_POWER_W = 202.5
+#: AlexNet FC layer: CirCNN-on-ARM 667 layers/s vs GPU 573 layers/s.
+SEC53_ARM_FC_LAYERS_PER_S = 667.0
+SEC53_GPU_FC_LAYERS_PER_S = 573.0
+
+# --- headline ---------------------------------------------------------------
+
+#: Abstract / §6: "6 - 102x energy efficiency improvements compared with
+#: the best state-of-the-art results."
+HEADLINE_IMPROVEMENT_BAND = (6.0, 102.0)

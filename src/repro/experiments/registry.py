@@ -1,0 +1,54 @@
+"""Experiment registry: id -> harness callable.
+
+``run_experiment("fig13")`` regenerates one paper artefact and returns its
+:class:`~repro.experiments.tables.ExperimentTable`. Benches and the
+``examples/`` scripts go through this registry so the id -> code mapping
+in DESIGN.md stays authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig7 import run_fig7a, run_fig7b, run_fig7c
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.fig15 import run_fig15
+from repro.experiments.sec43 import run_sec43
+from repro.experiments.sec53 import run_sec53
+from repro.experiments.tables import ExperimentTable
+from repro.experiments.training_speedup import run_training_speedup
+
+_REGISTRY: dict[str, Callable[[], ExperimentTable]] = {
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "fig7c": run_fig7c,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "sec43": run_sec43,
+    "sec53": run_sec53,
+    "training_speedup": run_training_speedup,
+}
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Ids of every registered experiment."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentTable]:
+    """The harness callable for an experiment id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {available_experiments()}"
+        ) from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentTable:
+    """Run one experiment and return its result table."""
+    return get_experiment(experiment_id)()

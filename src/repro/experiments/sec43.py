@@ -1,0 +1,141 @@
+"""§4.3 worked example: (p, d) design-space effects and Algorithm 3.
+
+The paper's example assumes block size 128 on the Cyclone V FPGA and
+reports:
+
+- raising p from 16 to 32 at d = 1 costs < 10% more power but gains
+  53.8% performance (the gain is sub-2x because memory bandwidth starts
+  to bind);
+- raising d from 1 to 2 costs +7.8% power for +62.2% performance (deeper
+  pipelines also cut memory round trips);
+- d above 3 is ruled out by control complexity, so Algorithm 3 searches
+  p first.
+
+This module models exactly that scenario: a stream of size-128 real FFTs
+on the basic computing block, with the layer time being the slower of the
+butterfly pipeline and the memory interface, and power split into a
+platform floor, a per-butterfly-unit share, and a dynamic part that rises
+with utilisation and falls with fewer memory trips. Constants are the
+one-time calibration described in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments import paper_values
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.arch.design_opt import ternary_search_int
+
+
+#: Memory interface of the example (words per cycle); §4.3's bandwidth
+#: bind point for the 128-point workload.
+_MEM_WORDS_PER_CYCLE = 197.0
+#: Pipeline-bubble overhead per extra depth level (the paper's "control
+#: difficulty and pipelining bubbles").
+_BUBBLE_PER_LEVEL = 0.08
+#: Power split at the (p=16, d=1) reference: platform floor, per-unit
+#: static share, and dynamic power, calibrated to the paper's example.
+_FLOOR_W = 0.28
+_PER_UNIT_W = 0.0005
+_DYNAMIC_REF_W = 0.040
+#: Fraction of dynamic energy spent on memory trips (the part d reduces).
+_MEMORY_ENERGY_FRACTION = 0.60
+
+
+@dataclass(frozen=True)
+class DesignPointMetrics:
+    """Performance and power of one (p, d) point of the §4.3 example."""
+
+    parallelism: int
+    depth: int
+    relative_performance: float
+    power_w: float
+
+
+def _cycles_per_fft(parallelism: int, depth: int,
+                    block_size: int = paper_values.SEC43_BLOCK_SIZE) -> float:
+    """Streamed cycles per size-k real FFT on the (p, d) block."""
+    levels = int(math.log2(block_size))
+    per_level = block_size // 4  # real-input butterflies per level
+    groups = -(-levels // depth)
+    fft = groups * (-(-per_level // parallelism))
+    # Each level group round-trips k words each way through memory.
+    memory = groups * block_size * 2.0 / _MEM_WORDS_PER_CYCLE
+    bubbles = 1.0 + _BUBBLE_PER_LEVEL * (depth - 1)
+    return max(float(fft), memory) * bubbles
+
+
+def _energy_factor(depth: int) -> float:
+    """Per-image dynamic energy relative to d = 1 (fewer memory trips)."""
+    levels = int(math.log2(paper_values.SEC43_BLOCK_SIZE))
+    trips = -(-levels // depth) / float(levels)
+    return (1.0 - _MEMORY_ENERGY_FRACTION) + _MEMORY_ENERGY_FRACTION * trips
+
+
+def evaluate_design(parallelism: int, depth: int) -> DesignPointMetrics:
+    """Perf/power of a (p, d) point, normalised to the (16, 1) reference."""
+    reference = _cycles_per_fft(16, 1)
+    cycles = _cycles_per_fft(parallelism, depth)
+    performance = reference / cycles
+    dynamic = _DYNAMIC_REF_W * _energy_factor(depth) * performance
+    power = _FLOOR_W + _PER_UNIT_W * parallelism * depth + dynamic
+    return DesignPointMetrics(parallelism, depth, performance, power)
+
+
+def design_objective(parallelism: int, depth: int) -> float:
+    """The metric M(Perf, Power) = Perf / Power used by Algorithm 3."""
+    point = evaluate_design(parallelism, depth)
+    return point.relative_performance / point.power_w
+
+
+def run_algorithm3(p_max: int = 64, d_max: int = 3) -> DesignPointMetrics:
+    """Algorithm 3 on the §4.3 example: ternary-search p (d=1), then d."""
+    best_p = ternary_search_int(lambda p: design_objective(p, 1), 1, p_max)
+    best_d = ternary_search_int(lambda d: design_objective(best_p, d), 1, d_max)
+    return evaluate_design(best_p, best_d)
+
+
+def run_sec43() -> ExperimentTable:
+    """Reproduce the §4.3 worked example."""
+    table = ExperimentTable(
+        "sec43", "design optimisation example: block 128 on Cyclone V"
+    )
+    p16 = evaluate_design(16, 1)
+    p32 = evaluate_design(32, 1)
+    d2 = evaluate_design(32, 2)
+
+    perf_gain_p = p32.relative_performance / p16.relative_performance - 1.0
+    power_gain_p = p32.power_w / p16.power_w - 1.0
+    table.add(
+        "perf gain, p 16->32 (d=1)", perf_gain_p, "frac",
+        paper=paper_values.SEC43_P_PERF_GAIN,
+        band=BandCheck(0.40, 0.70), note="paper: +53.8%",
+    )
+    table.add(
+        "power gain, p 16->32 (d=1)", power_gain_p, "frac",
+        paper=paper_values.SEC43_P_POWER_LIMIT,
+        band=BandCheck(high=paper_values.SEC43_P_POWER_LIMIT),
+        note="paper: < 10%",
+    )
+    perf_gain_d = d2.relative_performance / p32.relative_performance - 1.0
+    power_gain_d = d2.power_w / p32.power_w - 1.0
+    table.add(
+        "perf gain, d 1->2 (p=32)", perf_gain_d, "frac",
+        paper=paper_values.SEC43_D_PERF_GAIN,
+        band=BandCheck(0.45, 0.80), note="paper: +62.2%",
+    )
+    table.add(
+        "power gain, d 1->2 (p=32)", power_gain_d, "frac",
+        paper=paper_values.SEC43_D_POWER_GAIN,
+        band=BandCheck(high=0.12), note="paper: +7.8%",
+    )
+    optimum = run_algorithm3()
+    table.add("Algorithm 3 chosen p", optimum.parallelism, "",
+              band=BandCheck(low=16.0),
+              note="bandwidth-bound region favours wide p")
+    table.add("Algorithm 3 chosen d", optimum.depth, "",
+              band=BandCheck(low=1.0, high=3.0),
+              note="control complexity caps d at 3")
+    return table

@@ -1,0 +1,101 @@
+"""Result tables: paper-reported vs measured, with band checks.
+
+Every experiment harness returns an :class:`ExperimentTable`. A row pairs
+one measured quantity with the paper's reported value (when one exists)
+and an optional :class:`BandCheck` — the acceptance band derived from the
+paper's claims. Benches print these tables and assert the bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BandCheck:
+    """An acceptance band ``[low, high]`` (either side may be open)."""
+
+    low: float | None = None
+    high: float | None = None
+
+    def holds(self, value: float) -> bool:
+        """Whether ``value`` lies inside the band."""
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        low = "-inf" if self.low is None else f"{self.low:g}"
+        high = "+inf" if self.high is None else f"{self.high:g}"
+        return f"[{low}, {high}]"
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One measured quantity of an experiment."""
+
+    label: str
+    measured: float
+    unit: str = ""
+    paper: float | None = None
+    band: BandCheck | None = None
+    note: str = ""
+
+    @property
+    def in_band(self) -> bool | None:
+        """Band verdict (None when the row has no acceptance band)."""
+        if self.band is None:
+            return None
+        return self.band.holds(self.measured)
+
+
+@dataclass
+class ExperimentTable:
+    """A named collection of rows with rendering and band aggregation."""
+
+    experiment_id: str
+    title: str
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def add(self, label: str, measured: float, unit: str = "",
+            paper: float | None = None, band: BandCheck | None = None,
+            note: str = "") -> ExperimentRow:
+        """Append a row and return it."""
+        row = ExperimentRow(label, float(measured), unit, paper, band, note)
+        self.rows.append(row)
+        return row
+
+    def row(self, label: str) -> ExperimentRow:
+        """Look up a row by label."""
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"{self.experiment_id} has no row {label!r}")
+
+    @property
+    def all_bands_hold(self) -> bool:
+        """True when every banded row is inside its band."""
+        return all(row.in_band is not False for row in self.rows)
+
+    def failures(self) -> list[ExperimentRow]:
+        """Rows whose band check fails."""
+        return [row for row in self.rows if row.in_band is False]
+
+    def render(self) -> str:
+        """Fixed-width text rendering (what the benches print)."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        lines = [header]
+        label_width = max((len(r.label) for r in self.rows), default=10)
+        for row in self.rows:
+            paper = "      --" if row.paper is None else f"{row.paper:8.4g}"
+            verdict = ""
+            if row.band is not None:
+                verdict = "  OK" if row.in_band else f"  OUT {row.band}"
+            note = f"   ({row.note})" if row.note else ""
+            lines.append(
+                f"  {row.label:<{label_width}}  measured {row.measured:10.4g}"
+                f" {row.unit:<8} paper {paper}{verdict}{note}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""§3.4: DBN training acceleration (the paper's 5x-9x observation).
+
+The paper trains DBNs with block-circulant weights and observes "a 5x to
+9x acceleration in training ... less phenomenal than the model reduction
+ratio ... because GPUs are less optimized for FFT operation than
+matrix-vector multiplications". The same gap exists on CPUs: BLAS GEMM is
+far closer to peak than FFT code, so the *measured* speedup sits well
+below the operation-count ratio.
+
+This experiment measures both quantities on the RBM substrate:
+
+- the analytic operation-count ratio of one CD-1 step (dense outer
+  products vs frequency-domain cross-correlations);
+- the wall-clock ratio of actually running both RBMs through the same
+  CD-1 loop on synthetic data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.complexity import training_step_ops
+from repro.experiments import paper_values
+from repro.experiments.tables import BandCheck, ExperimentTable
+from repro.models import RBM
+from repro.utils.rng import make_rng
+
+
+def measure_cd1_seconds(rbm: RBM, data: np.ndarray, batch_size: int,
+                        repeats: int) -> float:
+    """Median wall-clock seconds of one CD-1 pass over ``data``."""
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for begin in range(0, len(data), batch_size):
+            rbm.cd1_step(data[begin : begin + batch_size])
+        timings.append(time.perf_counter() - start)
+    return float(np.median(timings))
+
+
+def run_training_speedup(n_visible: int = 2048, n_hidden: int = 2048,
+                         block_size: int = 256, num_samples: int = 64,
+                         batch_size: int = 32, repeats: int = 3,
+                         seed: int = 0) -> ExperimentTable:
+    """Reproduce the §3.4 DBN training-acceleration observation."""
+    table = ExperimentTable(
+        "training_speedup", "DBN/RBM training: dense vs block-circulant"
+    )
+    rng = make_rng(seed)
+    data = (rng.random((num_samples, n_visible)) < 0.3).astype(float)
+
+    dense_rbm = RBM(n_visible, n_hidden, block_size=None, seed=1)
+    circulant_rbm = RBM(n_visible, n_hidden, block_size=block_size, seed=1)
+
+    dense_time = measure_cd1_seconds(dense_rbm, data, batch_size, repeats)
+    circulant_time = measure_cd1_seconds(
+        circulant_rbm, data, batch_size, repeats
+    )
+    wall_clock_ratio = dense_time / circulant_time
+    low, high = paper_values.SEC34_DBN_TRAINING_SPEEDUP_BAND
+    table.add(
+        "wall-clock training speedup", wall_clock_ratio, "x",
+        paper=(low + high) / 2.0,
+        band=BandCheck(low=2.0),
+        note=f"paper band {low:g}-{high:g}x (GPU); library-FFT-vs-BLAS "
+             "balance shifts the exact value",
+    )
+    ops = training_step_ops(n_hidden, n_visible, block_size, batch=batch_size)
+    op_ratio = ops["dense"] / ops["block_circulant"]
+    table.add(
+        "operation-count speedup", op_ratio, "x",
+        band=BandCheck(low=low),
+        note="asymptotic O(n^2)/O(n log n) ratio exceeds the measured one",
+    )
+    table.add(
+        "measured <= analytic", float(wall_clock_ratio <= op_ratio), "bool",
+        band=BandCheck(low=1.0),
+        note="the paper's explanation: FFT is further from peak than GEMM",
+    )
+    table.add(
+        "parameter reduction", dense_rbm.num_weight_parameters
+        / circulant_rbm.num_weight_parameters, "x",
+        band=BandCheck(low=block_size * 0.99),
+        note="storage compresses by k even when compute gains less",
+    )
+    return table

@@ -1,0 +1,113 @@
+"""Pluggable FFT backends.
+
+Two numerically identical implementations are available:
+
+- ``"numpy"`` — ``numpy.fft`` (C-speed; the default for training loops);
+- ``"radix2"`` — the from-scratch kernels in this package (the faithful
+  model of the CirCNN hardware dataflow; used in tests and demos).
+
+The block-circulant kernels in :mod:`repro.circulant.ops` take a backend
+argument, so every experiment can be re-run on the from-scratch kernel to
+certify the two agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.fftcore.radix2 import fft_radix2, ifft_radix2
+from repro.fftcore.real import irfft_real, rfft_real
+
+
+class FFTBackend:
+    """Interface: forward/inverse complex and real transforms, last axis."""
+
+    name = "abstract"
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def ifft(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<FFTBackend {self.name}>"
+
+
+class NumpyFFTBackend(FFTBackend):
+    """``numpy.fft`` — fast production path."""
+
+    name = "numpy"
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.fft(x, axis=-1)
+
+    def ifft(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.ifft(x, axis=-1)
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        return np.fft.rfft(x, axis=-1)
+
+    def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
+        return np.fft.irfft(x, n=n, axis=-1)
+
+
+class Radix2FFTBackend(FFTBackend):
+    """The from-scratch kernels of :mod:`repro.fftcore` (hardware model)."""
+
+    name = "radix2"
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        return fft_radix2(x)
+
+    def ifft(self, x: np.ndarray) -> np.ndarray:
+        return ifft_radix2(x)
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        return rfft_real(x)
+
+    def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
+        return irfft_real(x, n=n)
+
+
+_BACKENDS: dict[str, FFTBackend] = {
+    "numpy": NumpyFFTBackend(),
+    "radix2": Radix2FFTBackend(),
+}
+_default_backend_name = "numpy"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str | None = None) -> FFTBackend:
+    """Return a backend by name, or the process-wide default if ``None``."""
+    if name is None:
+        name = _default_backend_name
+    if isinstance(name, FFTBackend):
+        return name
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown FFT backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (``"numpy"`` or ``"radix2"``)."""
+    global _default_backend_name
+    if name not in _BACKENDS:
+        raise BackendError(
+            f"unknown FFT backend {name!r}; available: {available_backends()}"
+        )
+    _default_backend_name = name

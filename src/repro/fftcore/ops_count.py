@@ -1,0 +1,137 @@
+"""Exact operation and memory-traffic counts for FFT kernels.
+
+The architecture simulator (``repro.arch``) converts these counts into
+cycles and energy; the complexity analysis (``repro.analysis.complexity``)
+uses them to verify the paper's O(n log n) claims. The accounting follows
+the standard radix-2 butterfly:
+
+    one butterfly = 1 complex multiply + 2 complex additions
+                  = 4 real multiplies + 6 real additions.
+
+Real-input transforms cost half the butterflies of a complex transform —
+the Fig 10 observation that Hermitian-symmetric outputs ("red circles")
+need not be computed or stored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import ensure_power_of_two
+
+# Real-operation cost of one radix-2 butterfly (complex mult + two adds).
+BUTTERFLY_REAL_MULTS = 4
+BUTTERFLY_REAL_ADDS = 6
+BUTTERFLY_REAL_OPS = BUTTERFLY_REAL_MULTS + BUTTERFLY_REAL_ADDS
+
+# Real-operation cost of one complex element-wise multiply (peripheral block).
+COMPLEX_MULT_REAL_MULTS = 4
+COMPLEX_MULT_REAL_ADDS = 2
+
+
+@dataclass(frozen=True)
+class FFTOpCount:
+    """Operation and traffic budget of one transform.
+
+    Attributes
+    ----------
+    size:
+        Transform length ``n``.
+    butterflies:
+        Radix-2 butterfly operations executed.
+    real_mults / real_adds:
+        Scalar multiplies / additions implied by those butterflies.
+    words_read / words_written:
+        Real-valued memory words moved if every butterfly level round-trips
+        through memory (the ``d = 1`` worst case; deeper pipelines divide
+        this, see :mod:`repro.arch.pipeline`).
+    """
+
+    size: int
+    butterflies: int
+    real_mults: int
+    real_adds: int
+    words_read: int
+    words_written: int
+
+    @property
+    def total_real_ops(self) -> int:
+        """Scalar arithmetic operations (multiplies + additions)."""
+        return self.real_mults + self.real_adds
+
+    @property
+    def total_words(self) -> int:
+        """Total memory words moved (reads + writes)."""
+        return self.words_read + self.words_written
+
+
+def _levels(n: int) -> int:
+    return int(math.log2(n)) if n > 1 else 0
+
+
+def complex_fft_butterflies(n: int) -> int:
+    """Butterflies in a size-``n`` complex radix-2 FFT: ``(n/2)·log2(n)``."""
+    ensure_power_of_two(n, "n")
+    return (n // 2) * _levels(n)
+
+
+def real_fft_butterflies(n: int) -> int:
+    """Butterfly-equivalents in a size-``n`` real-input FFT.
+
+    Computed via the half-size packing algorithm of
+    :mod:`repro.fftcore.real`: a complex FFT of size ``n/2`` —
+    ``(n/4)·log2(n/2)`` butterflies — plus an O(n) unpack stage of ``n/4``
+    pair-combines, each costing one butterfly-equivalent (one complex
+    multiply by the twiddle plus two complex additions). The total,
+
+        (n/4)·log2(n/2) + n/4 = (n/4)·log2(n),
+
+    is exactly half of :func:`complex_fft_butterflies` — the paper's 2x
+    symmetry saving.
+    """
+    ensure_power_of_two(n, "n")
+    if n == 1:
+        return 0
+    return (n // 4) * _levels(n)
+
+
+def _count(n: int, butterflies: int, complex_words_per_level: int,
+           levels: int) -> FFTOpCount:
+    return FFTOpCount(
+        size=n,
+        butterflies=butterflies,
+        real_mults=butterflies * BUTTERFLY_REAL_MULTS,
+        real_adds=butterflies * BUTTERFLY_REAL_ADDS,
+        words_read=2 * complex_words_per_level * levels,
+        words_written=2 * complex_words_per_level * levels,
+    )
+
+
+def complex_fft_ops(n: int) -> FFTOpCount:
+    """Full op/traffic budget of a size-``n`` complex FFT (or IFFT)."""
+    ensure_power_of_two(n, "n")
+    return _count(n, complex_fft_butterflies(n), n, _levels(n))
+
+
+def real_fft_ops(n: int) -> FFTOpCount:
+    """Full op/traffic budget of a size-``n`` real-input FFT (or inverse).
+
+    Memory traffic is also halved relative to the complex transform: only
+    the ``n/2`` packed values travel through the butterfly levels.
+    """
+    ensure_power_of_two(n, "n")
+    if n == 1:
+        return FFTOpCount(1, 0, 0, 0, 0, 0)
+    return _count(n, real_fft_butterflies(n), n // 2, _levels(n))
+
+
+def elementwise_complex_mult_ops(bins: int) -> tuple[int, int]:
+    """(real multiplies, real additions) for ``bins`` complex multiplies.
+
+    This is the peripheral-block cost of one ``FFT(w) ∘ FFT(x)`` product
+    over a half-spectrum of ``bins = k/2 + 1`` frequency bins.
+    """
+    if bins < 0:
+        raise ValueError(f"bins must be >= 0, got {bins}")
+    return bins * COMPLEX_MULT_REAL_MULTS, bins * COMPLEX_MULT_REAL_ADDS

@@ -1,0 +1,83 @@
+"""Iterative radix-2 Cooley–Tukey FFT, vectorised over leading batch axes.
+
+The CirCNN basic computing block (paper Fig 10) is a hardware pipeline of
+radix-2 butterfly stages; this module is the software model of the exact
+same dataflow: bit-reversal permutation followed by ``log2(n)`` butterfly
+stages. Each stage here performs the same complex multiply–add the hardware
+butterfly performs, so the op counts in :mod:`repro.fftcore.ops_count`
+describe both implementations.
+
+Only power-of-two sizes are supported, mirroring the hardware constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_power_of_two
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation of ``range(n)`` (n a power of two).
+
+    This is the input reordering of a decimation-in-time radix-2 FFT: the
+    element at position ``i`` moves to the position whose binary index is
+    ``i`` written backwards in ``log2(n)`` bits.
+    """
+    ensure_power_of_two(n, "n")
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx = idx >> 1
+    return rev
+
+
+def _fft_inplace(y: np.ndarray, n: int) -> np.ndarray:
+    """Run the butterfly stages of a forward FFT on bit-reversed data ``y``.
+
+    ``y`` has shape ``(..., n)`` and complex dtype; it is modified in place
+    stage by stage, exactly one stage per level of the hardware pipeline.
+    """
+    m = 2
+    while m <= n:
+        half = m // 2
+        # Twiddle factors for this stage: W_m^k = exp(-2πi k / m).
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / m)
+        blocks = y.reshape(y.shape[:-1] + (n // m, m))
+        even = blocks[..., :half]
+        odd = blocks[..., half:] * twiddle
+        upper = even + odd
+        lower = even - odd
+        blocks[..., :half] = upper
+        blocks[..., half:] = lower
+        m *= 2
+    return y
+
+
+def fft_radix2(x: np.ndarray) -> np.ndarray:
+    """Forward FFT of ``x`` along the last axis (size must be a power of two).
+
+    Matches ``numpy.fft.fft`` conventions and supports arbitrary leading
+    batch dimensions.
+    """
+    x = np.asarray(x)
+    n = ensure_power_of_two(x.shape[-1], "transform size")
+    if n == 1:
+        return x.astype(np.complex128, copy=True)
+    y = x[..., bit_reverse_indices(n)].astype(np.complex128, copy=True)
+    return _fft_inplace(y, n)
+
+
+def ifft_radix2(x: np.ndarray) -> np.ndarray:
+    """Inverse FFT along the last axis with the usual ``1/n`` normalisation.
+
+    Implemented as the conjugate trick ``conj(fft(conj(x))) / n`` so the
+    hardware only ever needs the forward butterfly network — the property
+    the paper uses to run IFFT on the same basic computing block (§4.1:
+    "IFFT can be implemented using the same structure as FFT").
+    """
+    x = np.asarray(x)
+    n = ensure_power_of_two(x.shape[-1], "transform size")
+    return np.conj(fft_radix2(np.conj(x))) / n

@@ -1,0 +1,80 @@
+"""Real-input FFT exploiting Hermitian symmetry (paper §4.1, Fig 10).
+
+CirCNN's inputs "are from actual applications and are real values without
+imaginary parts", so the FFT of each block is Hermitian-symmetric and half
+of the butterfly outputs ("the outcomes in the red circles") never need to
+be computed or stored. This module implements that optimisation in its
+classical software form: a length-``n`` real FFT computed as one length-
+``n/2`` *complex* FFT of the packed sequence ``z[j] = x[2j] + i·x[2j+1]``
+followed by an O(n) unpacking stage.
+
+The returned half-spectrum layout matches ``numpy.fft.rfft`` /
+``numpy.fft.irfft`` (``n//2 + 1`` bins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.fftcore.radix2 import fft_radix2, ifft_radix2
+from repro.utils.validation import ensure_power_of_two
+
+
+def rfft_real(x: np.ndarray) -> np.ndarray:
+    """Real-input FFT along the last axis; returns ``n//2 + 1`` complex bins.
+
+    Equivalent to ``numpy.fft.rfft`` for power-of-two sizes, computed with
+    the half-size packing trick so it performs exactly half the butterflies
+    of a full complex FFT (see :func:`repro.fftcore.ops_count.real_fft_ops`).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = ensure_power_of_two(x.shape[-1], "transform size")
+    if n == 1:
+        return x.astype(np.complex128)
+    half = n // 2
+    # Pack even/odd samples into a half-length complex sequence.
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    zf = fft_radix2(z)
+    # Unpack: split zf into the spectra of the even and odd subsequences.
+    k = np.arange(half + 1)
+    idx = k % half
+    ridx = (half - k) % half
+    zk = zf[..., idx]
+    zrk = np.conj(zf[..., ridx])
+    even_part = 0.5 * (zk + zrk)
+    odd_part = -0.5j * (zk - zrk)
+    twiddle = np.exp(-2j * np.pi * k / n)
+    return even_part + twiddle * odd_part
+
+
+def irfft_real(xf: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft_real`; returns a real array of length ``n``.
+
+    ``xf`` holds the ``n//2 + 1`` non-redundant bins of a Hermitian
+    spectrum. ``n`` defaults to ``2 * (xf.shape[-1] - 1)``.
+    """
+    xf = np.asarray(xf, dtype=np.complex128)
+    if n is None:
+        n = 2 * (xf.shape[-1] - 1)
+    ensure_power_of_two(n, "transform size")
+    if xf.shape[-1] != n // 2 + 1:
+        raise ShapeError(
+            f"expected {n // 2 + 1} half-spectrum bins for n={n}, "
+            f"got {xf.shape[-1]}"
+        )
+    if n == 1:
+        return xf[..., 0].real[..., np.newaxis].copy()
+    half = n // 2
+    # Re-pack the half spectrum into the spectrum of the complex sequence z.
+    k = np.arange(half)
+    xk = xf[..., :half]
+    xrk = np.conj(xf[..., half - k])
+    even_part = 0.5 * (xk + xrk)
+    odd_part = 0.5 * (xk - xrk) * np.exp(2j * np.pi * k / n)
+    zf = even_part + 1j * odd_part
+    z = ifft_radix2(zf)
+    out = np.empty(xf.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0::2] = z.real
+    out[..., 1::2] = z.imag
+    return out

@@ -1,0 +1,32 @@
+"""Direct O(n^2) discrete Fourier transform.
+
+This is the textbook definition used as ground truth when testing the
+radix-2 kernel; it is deliberately simple and never used on a hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _dft_matrix(n: int, sign: float) -> np.ndarray:
+    """Return the n-by-n DFT matrix ``exp(sign * 2j*pi*j*k/n)``."""
+    j, k = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return np.exp(sign * 2j * np.pi * j * k / n)
+
+
+def dft_direct(x: np.ndarray) -> np.ndarray:
+    """Compute the DFT of ``x`` along its last axis by direct summation.
+
+    Matches ``numpy.fft.fft`` conventions: ``X[k] = sum_j x[j] e^{-2πi jk/n}``.
+    """
+    x = np.asarray(x)
+    n = x.shape[-1]
+    return x @ _dft_matrix(n, -1.0).T
+
+
+def idft_direct(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dft_direct` (includes the 1/n normalisation)."""
+    x = np.asarray(x)
+    n = x.shape[-1]
+    return (x @ _dft_matrix(n, +1.0).T) / n

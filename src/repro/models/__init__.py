@@ -1,0 +1,63 @@
+"""Model zoo: the networks of the paper's evaluation.
+
+Shape descriptors (:class:`~repro.models.descriptors.ModelSpec`) drive all
+storage and hardware accounting; the ``build_*`` functions construct
+trainable NumPy networks for the accuracy experiments.
+"""
+
+from repro.models.descriptors import (
+    CompressionPlan,
+    ConvSpec,
+    DenseSpec,
+    LayerSpec,
+    ModelSpec,
+    PoolSpec,
+)
+from repro.models.lenet import (
+    build_lenet5,
+    default_lenet5_caffe_plan,
+    default_lenet5_plan,
+    lenet5_caffe_spec,
+    lenet5_spec,
+)
+from repro.models.alexnet import (
+    alexnet_mini_spec,
+    alexnet_spec,
+    build_alexnet_mini,
+    default_alexnet_fc_plan,
+    default_alexnet_full_plan,
+)
+from repro.models.mlp import (
+    build_mlp,
+    cifar10_convnet_spec,
+    default_fig14_plans,
+    mnist_mlp_spec,
+    svhn_convnet_spec,
+)
+from repro.models.dbn import DBN, RBM
+
+__all__ = [
+    "CompressionPlan",
+    "ConvSpec",
+    "DenseSpec",
+    "PoolSpec",
+    "LayerSpec",
+    "ModelSpec",
+    "lenet5_spec",
+    "lenet5_caffe_spec",
+    "build_lenet5",
+    "default_lenet5_plan",
+    "default_lenet5_caffe_plan",
+    "alexnet_spec",
+    "alexnet_mini_spec",
+    "build_alexnet_mini",
+    "default_alexnet_fc_plan",
+    "default_alexnet_full_plan",
+    "build_mlp",
+    "mnist_mlp_spec",
+    "cifar10_convnet_spec",
+    "svhn_convnet_spec",
+    "default_fig14_plans",
+    "DBN",
+    "RBM",
+]

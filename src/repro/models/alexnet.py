@@ -1,0 +1,151 @@
+"""AlexNet — the paper's ImageNet workload (Figs 7, 13, 15; §5.3).
+
+The full-size network exists here only as a :class:`ModelSpec` (its 62 M
+parameters are never allocated); storage, complexity and hardware results
+derive from the shapes. A scaled-down trainable ``alexnet_mini`` exercises
+the same CONV->POOL->FC topology on 32x32 synthetic data.
+
+Shapes follow the ungrouped single-tower AlexNet (Krizhevsky et al. 2012
+without the two-GPU filter groups), the variant used by the acceleration
+literature the paper compares against.
+"""
+
+from __future__ import annotations
+
+from repro.models.descriptors import (
+    CompressionPlan,
+    ConvSpec,
+    DenseSpec,
+    ModelSpec,
+    PoolSpec,
+)
+from repro.nn import (
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def alexnet_spec() -> ModelSpec:
+    """Shape descriptor of AlexNet for 3x227x227 inputs.
+
+    FC layers hold 58.6 M of the 62.3 M weights — the "FC is the most
+    storage-intensive layer" premise of §2.1.
+    """
+    return ModelSpec(
+        name="alexnet",
+        input_shape=(3, 227, 227),
+        layers=(
+            ConvSpec("conv1", 3, 96, 11, in_hw=(227, 227), stride=4),
+            PoolSpec("pool1", 96, 3, in_hw=(55, 55), stride=2),
+            ConvSpec("conv2", 96, 256, 5, in_hw=(27, 27), padding=2),
+            PoolSpec("pool2", 256, 3, in_hw=(27, 27), stride=2),
+            ConvSpec("conv3", 256, 384, 3, in_hw=(13, 13), padding=1),
+            ConvSpec("conv4", 384, 384, 3, in_hw=(13, 13), padding=1),
+            ConvSpec("conv5", 384, 256, 3, in_hw=(13, 13), padding=1),
+            PoolSpec("pool3", 256, 3, in_hw=(13, 13), stride=2),
+            DenseSpec("fc6", 9216, 4096),
+            DenseSpec("fc7", 4096, 4096),
+            DenseSpec("fc8", 4096, 1000),
+        ),
+    )
+
+
+def default_alexnet_fc_plan(fc_block: int = 1024,
+                            weight_bits: int = 16) -> CompressionPlan:
+    """FC-only compression (the Fig 7a / §4.4 configuration).
+
+    Block size 1024 divides fc6 (9216x4096) and fc7 (4096x4096) exactly;
+    fc8's 1000-way output is padded to 1024. The softmax classifier layer
+    itself is excluded from compression claims in the paper, so fc8 keeps a
+    smaller block to preserve accuracy; the plan mirrors that by assigning
+    fc8 block 512.
+    """
+    return CompressionPlan(
+        block_sizes={"fc6": fc_block, "fc7": fc_block, "fc8": 512},
+        weight_bits=weight_bits,
+    )
+
+
+def default_alexnet_full_plan(fc_block: int = 1024, conv_block: int = 32,
+                              weight_bits: int = 16) -> CompressionPlan:
+    """FC + CONV compression (the Fig 7c configuration).
+
+    CONV block sizes respect the channel counts (conv1's 3 input channels
+    cannot fold, later layers use ``conv_block``); the paper tunes block
+    size per layer to keep accuracy degradation within 1-2%.
+    """
+    return CompressionPlan(
+        block_sizes={
+            "conv1": 1,
+            "conv2": conv_block,
+            "conv3": conv_block,
+            "conv4": conv_block,
+            "conv5": conv_block,
+            "fc6": fc_block,
+            "fc7": fc_block,
+            "fc8": 512,
+        },
+        weight_bits=weight_bits,
+    )
+
+
+def alexnet_mini_spec() -> ModelSpec:
+    """Shape descriptor of the scaled-down trainable AlexNet variant."""
+    return ModelSpec(
+        name="alexnet_mini",
+        input_shape=(3, 32, 32),
+        layers=(
+            ConvSpec("conv1", 3, 16, 5, in_hw=(32, 32), padding=2),
+            PoolSpec("pool1", 16, 2, in_hw=(32, 32)),
+            ConvSpec("conv2", 16, 32, 3, in_hw=(16, 16), padding=1),
+            PoolSpec("pool2", 32, 2, in_hw=(16, 16)),
+            DenseSpec("fc1", 2048, 256),
+            DenseSpec("fc2", 256, 10),
+        ),
+    )
+
+
+def build_alexnet_mini(plan: CompressionPlan | None = None,
+                       num_classes: int = 10, seed=0) -> Sequential:
+    """Trainable mini-AlexNet (3x32x32 inputs) with optional compression."""
+    spec = alexnet_mini_spec()
+
+    def k(name: str) -> int:
+        return plan.block_size(spec.layer(name)) if plan is not None else 1
+
+    base = 0 if seed is None else int(seed) * 100
+    layers = []
+    conv1_k = k("conv1")
+    if conv1_k > 1:
+        layers.append(
+            BlockCirculantConv2D(3, 16, 5, conv1_k, padding=2, seed=base + 1)
+        )
+    else:
+        layers.append(Conv2D(3, 16, 5, padding=2, seed=base + 1))
+    layers += [ReLU(), MaxPool2D(2)]
+    conv2_k = k("conv2")
+    if conv2_k > 1:
+        layers.append(
+            BlockCirculantConv2D(16, 32, 3, conv2_k, padding=1, seed=base + 2)
+        )
+    else:
+        layers.append(Conv2D(16, 32, 3, padding=1, seed=base + 2))
+    layers += [ReLU(), MaxPool2D(2), Flatten()]
+    fc1_k = k("fc1")
+    if fc1_k > 1:
+        layers.append(BlockCirculantDense(2048, 256, fc1_k, seed=base + 3))
+    else:
+        layers.append(Dense(2048, 256, seed=base + 3))
+    layers.append(ReLU())
+    fc2_k = k("fc2")
+    if fc2_k > 1:
+        layers.append(BlockCirculantDense(256, num_classes, fc2_k, seed=base + 4))
+    else:
+        layers.append(Dense(256, num_classes, seed=base + 4))
+    return Sequential(*layers)

@@ -1,0 +1,215 @@
+"""Shape-level model descriptors.
+
+The paper's storage (Fig 7) and hardware (Figs 13–15) results depend only
+on layer *shapes* — parameter counts, MACs, FFT sizes — not on trained
+weights. These descriptors capture exactly that, so a full-size AlexNet can
+be analysed and mapped onto the architecture simulator without ever
+allocating its 61 M parameters.
+
+A :class:`CompressionPlan` assigns a circulant block size to each layer
+(1 = uncompressed), which is the paper's per-layer accuracy/compression
+knob (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circulant.ops import block_dims
+from repro.errors import ConfigurationError
+from repro.nn.im2col import conv_output_size
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Shape of one convolutional layer (paper Eq. 6 symbols).
+
+    ``in_hw`` is the spatial input size this layer sees in the network.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    field: int
+    in_hw: tuple[int, int]
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        return (
+            conv_output_size(self.in_hw[0], self.field, self.stride, self.padding),
+            conv_output_size(self.in_hw[1], self.field, self.stride, self.padding),
+        )
+
+    @property
+    def positions(self) -> int:
+        """Output spatial positions (W-r+1)(H-r+1) in the paper's notation."""
+        out_h, out_w = self.out_hw
+        return out_h * out_w
+
+    @property
+    def dense_params(self) -> int:
+        """Unstructured filter parameters: ``P·C·r²``."""
+        return self.out_channels * self.in_channels * self.field**2
+
+    @property
+    def macs(self) -> int:
+        """Multiply–accumulates of the dense layer per input image."""
+        return self.positions * self.dense_params
+
+    @property
+    def kind(self) -> str:
+        return "conv"
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """Shape of one fully-connected layer (paper Eq. 1 symbols)."""
+
+    name: str
+    in_features: int
+    out_features: int
+
+    @property
+    def dense_params(self) -> int:
+        """Unstructured weight parameters: ``m·n``."""
+        return self.out_features * self.in_features
+
+    @property
+    def macs(self) -> int:
+        """Multiply–accumulates of the dense layer per input image."""
+        return self.dense_params
+
+    @property
+    def kind(self) -> str:
+        return "fc"
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Shape of one pooling layer (O(n) comparator work)."""
+
+    name: str
+    channels: int
+    field: int
+    in_hw: tuple[int, int]
+    stride: int | None = None
+
+    @property
+    def effective_stride(self) -> int:
+        return self.field if self.stride is None else self.stride
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        stride = self.effective_stride
+        return (
+            conv_output_size(self.in_hw[0], self.field, stride, 0),
+            conv_output_size(self.in_hw[1], self.field, stride, 0),
+        )
+
+    @property
+    def dense_params(self) -> int:
+        return 0
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def comparisons(self) -> int:
+        """Comparator operations per image."""
+        out_h, out_w = self.out_hw
+        return self.channels * out_h * out_w * (self.field**2 - 1)
+
+    @property
+    def kind(self) -> str:
+        return "pool"
+
+
+LayerSpec = ConvSpec | DenseSpec | PoolSpec
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered stack of layer shapes with summary accounting."""
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    input_shape: tuple[int, int, int]
+
+    def layer(self, name: str) -> LayerSpec:
+        """Look up a layer by name."""
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise ConfigurationError(f"{self.name} has no layer named {name!r}")
+
+    @property
+    def conv_layers(self) -> tuple[ConvSpec, ...]:
+        return tuple(s for s in self.layers if isinstance(s, ConvSpec))
+
+    @property
+    def fc_layers(self) -> tuple[DenseSpec, ...]:
+        return tuple(s for s in self.layers if isinstance(s, DenseSpec))
+
+    @property
+    def total_dense_params(self) -> int:
+        """Weight parameters of the uncompressed model."""
+        return sum(s.dense_params for s in self.layers)
+
+    @property
+    def fc_dense_params(self) -> int:
+        return sum(s.dense_params for s in self.fc_layers)
+
+    @property
+    def conv_dense_params(self) -> int:
+        return sum(s.dense_params for s in self.conv_layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Per-image MACs of the uncompressed model (the "equivalent ops"
+        numerator of §5.1's GOPS accounting, divided by two)."""
+        return sum(s.macs for s in self.layers)
+
+
+@dataclass(frozen=True)
+class CompressionPlan:
+    """Block-size assignment per layer (the Fig 7 compression knob).
+
+    ``block_sizes`` maps layer name -> circulant block size ``k``; layers
+    absent from the map stay uncompressed (k = 1). ``weight_bits`` is the
+    stored word length (the paper uses 16-bit fixed point; dense baselines
+    use 32-bit float).
+    """
+
+    block_sizes: dict[str, int] = field(default_factory=dict)
+    weight_bits: int = 16
+
+    def block_size(self, layer: LayerSpec) -> int:
+        """Block size assigned to ``layer`` (1 if not compressed)."""
+        k = self.block_sizes.get(layer.name, 1)
+        if k < 1:
+            raise ConfigurationError(
+                f"block size for {layer.name!r} must be >= 1, got {k}"
+            )
+        return k
+
+    def compressed_params(self, layer: LayerSpec) -> int:
+        """Stored parameters of ``layer`` under this plan.
+
+        FC: ``p·q·k`` defining-vector entries. CONV: ``r²·pp·qc·k``.
+        Pool layers store nothing. Padding (non-divisible shapes) is
+        included, exactly as :class:`repro.nn.BlockCirculantDense` stores it.
+        """
+        k = self.block_size(layer)
+        if isinstance(layer, DenseSpec):
+            p, q = block_dims(layer.out_features, layer.in_features, k)
+            return p * q * k
+        if isinstance(layer, ConvSpec):
+            pp, qc = block_dims(layer.out_channels, layer.in_channels, k)
+            return layer.field**2 * pp * qc * k
+        return 0
+
+    def total_compressed_params(self, model: ModelSpec) -> int:
+        return sum(self.compressed_params(layer) for layer in model.layers)

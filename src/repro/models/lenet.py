@@ -1,0 +1,148 @@
+"""LeNet-5 — the paper's MNIST workload (Figs 7, 14; §5.3).
+
+Two artefacts: the exact shape descriptor (for storage and hardware
+accounting) and a trainable builder that produces either the dense baseline
+or the block-circulant version with a per-layer block-size plan.
+"""
+
+from __future__ import annotations
+
+from repro.models.descriptors import (
+    CompressionPlan,
+    ConvSpec,
+    DenseSpec,
+    ModelSpec,
+    PoolSpec,
+)
+from repro.nn import (
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def lenet5_spec() -> ModelSpec:
+    """Shape descriptor of LeNet-5 for 28x28 single-channel inputs.
+
+    conv1 (1->6, 5x5, pad 2), pool, conv2 (6->16, 5x5), pool,
+    fc1 400->120, fc2 120->84, fc3 84->10. 61,706 weights total, of which
+    58,920 (95%) sit in the FC layers — the paper's motivation for
+    compressing FC first.
+    """
+    return ModelSpec(
+        name="lenet5",
+        input_shape=(1, 28, 28),
+        layers=(
+            ConvSpec("conv1", 1, 6, 5, in_hw=(28, 28), padding=2),
+            PoolSpec("pool1", 6, 2, in_hw=(28, 28)),
+            ConvSpec("conv2", 6, 16, 5, in_hw=(14, 14)),
+            PoolSpec("pool2", 16, 2, in_hw=(10, 10)),
+            DenseSpec("fc1", 400, 120),
+            DenseSpec("fc2", 120, 84),
+            DenseSpec("fc3", 84, 10),
+        ),
+    )
+
+
+def lenet5_caffe_spec() -> ModelSpec:
+    """The Caffe LeNet variant used by the compression literature.
+
+    conv1 (1->20, 5x5), pool, conv2 (20->50, 5x5), pool, fc1 800->500,
+    fc2 500->10 — 430,500 weights. This is the "LeNet-5" that Han et
+    al. [34] prune by 12x, i.e. the comparison point of Fig 7c, and its
+    800x500 fc1 is what makes the 400x+ FC storage savings of Fig 7a
+    arithmetically reachable on MNIST.
+    """
+    return ModelSpec(
+        name="lenet5_caffe",
+        input_shape=(1, 28, 28),
+        layers=(
+            ConvSpec("conv1", 1, 20, 5, in_hw=(28, 28)),
+            PoolSpec("pool1", 20, 2, in_hw=(24, 24)),
+            ConvSpec("conv2", 20, 50, 5, in_hw=(12, 12)),
+            PoolSpec("pool2", 50, 2, in_hw=(8, 8)),
+            DenseSpec("fc1", 800, 500),
+            DenseSpec("fc2", 500, 10),
+        ),
+    )
+
+
+def default_lenet5_caffe_plan(weight_bits: int = 16) -> CompressionPlan:
+    """Fig 7 block plan for the Caffe LeNet: fold fc1 by its full output
+    width (k = 500, one padded block row), conv2 by 10 across its 20x50
+    channel grid, and keep the tiny classifier/conv1 uncompressed."""
+    return CompressionPlan(
+        block_sizes={"conv2": 10, "fc1": 500, "fc2": 10},
+        weight_bits=weight_bits,
+    )
+
+
+def default_lenet5_plan(fc_block: int = 40, conv_block: int = 2,
+                        weight_bits: int = 16) -> CompressionPlan:
+    """The block-size plan used by the LeNet-5 experiments.
+
+    FC blocks of 40 divide 400/120 exactly and compress the dominant fc1;
+    the last classifier layer (fc3, 84->10) is left uncompressed following
+    the paper's practice of excluding the softmax layer. Conv blocks are
+    small because LeNet's channel counts are 6 and 16.
+    """
+    return CompressionPlan(
+        block_sizes={
+            "conv1": 1,  # 1 input channel: nothing to fold
+            "conv2": conv_block,
+            "fc1": fc_block,
+            "fc2": min(fc_block, 12),
+        },
+        weight_bits=weight_bits,
+    )
+
+
+def build_lenet5(plan: CompressionPlan | None = None, num_classes: int = 10,
+                 seed=0) -> Sequential:
+    """Build a trainable LeNet-5.
+
+    ``plan=None`` gives the dense baseline; otherwise every layer with an
+    assigned block size > 1 becomes block-circulant. Layer shapes follow
+    :func:`lenet5_spec` exactly.
+    """
+    spec = lenet5_spec()
+
+    def k(name: str) -> int:
+        return plan.block_size(spec.layer(name)) if plan is not None else 1
+
+    def conv(name: str, cin: int, cout: int, field: int, padding: int,
+             layer_seed: int):
+        size = k(name)
+        if size > 1:
+            return BlockCirculantConv2D(
+                cin, cout, field, block_size=size, padding=padding,
+                seed=layer_seed,
+            )
+        return Conv2D(cin, cout, field, padding=padding, seed=layer_seed)
+
+    def dense(name: str, nin: int, nout: int, layer_seed: int):
+        size = k(name)
+        if size > 1:
+            return BlockCirculantDense(nin, nout, size, seed=layer_seed)
+        return Dense(nin, nout, seed=layer_seed)
+
+    base = 0 if seed is None else int(seed) * 100
+    return Sequential(
+        conv("conv1", 1, 6, 5, 2, base + 1),
+        ReLU(),
+        MaxPool2D(2),
+        conv("conv2", 6, 16, 5, 0, base + 2),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        dense("fc1", 400, 120, base + 3),
+        ReLU(),
+        dense("fc2", 120, 84, base + 4),
+        ReLU(),
+        dense("fc3", 84, num_classes, base + 5),
+    )

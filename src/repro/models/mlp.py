@@ -1,0 +1,118 @@
+"""Configurable MLP builders + the small convnets of the Fig 14 comparison.
+
+The TrueNorth comparison (Fig 14) runs end-to-end networks on MNIST,
+CIFAR-10 and SVHN. The paper notes its CIFAR-10 model "uses small-scale
+FFTs, which limits the degree of improvements" — the specs below encode
+that: the MNIST/SVHN models use comfortable FC block sizes while the
+CIFAR-10 model is conv-heavy with small channel counts.
+"""
+
+from __future__ import annotations
+
+from repro.models.descriptors import (
+    CompressionPlan,
+    ConvSpec,
+    DenseSpec,
+    ModelSpec,
+    PoolSpec,
+)
+from repro.nn import (
+    BlockCirculantDense,
+    Dense,
+    ReLU,
+    Sequential,
+)
+
+
+def build_mlp(in_features: int, hidden: list[int], num_classes: int,
+              block_size: int | None = None, seed=0) -> Sequential:
+    """A ReLU MLP; ``block_size`` switches every hidden layer to
+    block-circulant (the output layer stays dense, matching the paper's
+    exclusion of the softmax layer from compression)."""
+    net = Sequential()
+    base = 0 if seed is None else int(seed) * 100
+    previous = in_features
+    for index, width in enumerate(hidden):
+        if block_size is not None and block_size > 1:
+            net.add(
+                BlockCirculantDense(previous, width, block_size,
+                                    seed=base + index)
+            )
+        else:
+            net.add(Dense(previous, width, seed=base + index))
+        net.add(ReLU())
+        previous = width
+    net.add(Dense(previous, num_classes, seed=base + len(hidden)))
+    return net
+
+
+def mnist_mlp_spec(hidden: int = 512) -> ModelSpec:
+    """784-h-h-10 MLP shape used for MNIST throughput mapping."""
+    return ModelSpec(
+        name="mnist_mlp",
+        input_shape=(1, 28, 28),
+        layers=(
+            DenseSpec("fc1", 784, hidden),
+            DenseSpec("fc2", hidden, hidden),
+            DenseSpec("fc3", hidden, 10),
+        ),
+    )
+
+
+def cifar10_convnet_spec() -> ModelSpec:
+    """Small conv-heavy CIFAR-10 network (Fig 14's CIFAR workload).
+
+    Channel counts are modest, so circulant blocks — and therefore FFT
+    sizes — stay small: the regime where the paper concedes TrueNorth wins
+    on throughput.
+    """
+    return ModelSpec(
+        name="cifar10_convnet",
+        input_shape=(3, 32, 32),
+        layers=(
+            ConvSpec("conv1", 3, 32, 3, in_hw=(32, 32), padding=1),
+            ConvSpec("conv2", 32, 32, 3, in_hw=(32, 32), padding=1),
+            PoolSpec("pool1", 32, 2, in_hw=(32, 32)),
+            ConvSpec("conv3", 32, 64, 3, in_hw=(16, 16), padding=1),
+            ConvSpec("conv4", 64, 64, 3, in_hw=(16, 16), padding=1),
+            PoolSpec("pool2", 64, 2, in_hw=(16, 16)),
+            ConvSpec("conv5", 64, 128, 3, in_hw=(8, 8), padding=1),
+            ConvSpec("conv6", 128, 128, 3, in_hw=(8, 8), padding=1),
+            PoolSpec("pool3", 128, 2, in_hw=(8, 8)),
+            DenseSpec("fc1", 2048, 512),
+            DenseSpec("fc2", 512, 10),
+        ),
+    )
+
+
+def svhn_convnet_spec() -> ModelSpec:
+    """Compact SVHN network (Fig 14's SVHN workload): one light conv stage
+    feeding FC layers with large circulant-friendly widths."""
+    return ModelSpec(
+        name="svhn_convnet",
+        input_shape=(3, 32, 32),
+        layers=(
+            ConvSpec("conv1", 3, 16, 5, in_hw=(32, 32), padding=2, stride=2),
+            PoolSpec("pool1", 16, 2, in_hw=(16, 16)),
+            DenseSpec("fc1", 1024, 512),
+            DenseSpec("fc2", 512, 10),
+        ),
+    )
+
+
+def default_fig14_plans() -> dict[str, CompressionPlan]:
+    """Block-size plans used when mapping the Fig 14 models onto hardware."""
+    return {
+        "mnist_mlp": CompressionPlan(
+            block_sizes={"fc1": 128, "fc2": 128, "fc3": 2}
+        ),
+        "cifar10_convnet": CompressionPlan(
+            block_sizes={
+                "conv1": 1, "conv2": 4, "conv3": 4, "conv4": 4,
+                "conv5": 4, "conv6": 4, "fc1": 64, "fc2": 2,
+            }
+        ),
+        "svhn_convnet": CompressionPlan(
+            block_sizes={"conv1": 1, "fc1": 256, "fc2": 2}
+        ),
+    }

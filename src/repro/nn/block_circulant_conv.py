@@ -1,0 +1,197 @@
+"""Block-circulant 2-D convolution — paper §3.2 (Eq. 6–7).
+
+The paper generalises block-circulant structure to the rank-4 CONV weight
+tensor ``F ∈ R^{r×r×C×P}``: after the im2col reformulation ``Y = X F``
+(Fig 6), the reshaping identity of Eq. (7) makes the ``(C·r²) × P`` filter
+matrix block-circulant *along the channel dimensions*. Equivalently: at
+each of the ``r²`` spatial offsets, the ``P × C`` cross-channel weight
+matrix is block-circulant with ``k × k`` circulant blocks.
+
+This layer stores exactly those defining vectors — shape
+``(r², ceil(P/k), ceil(C/k), k)`` — and evaluates the product per spatial
+offset in the FFT domain, i.e. the same
+"FFT → element-wise multiply → IFFT" pipeline the FC layer uses, which is
+what lets the CirCNN architecture run both layer types on one computing
+block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circulant.ops import block_dims
+from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.initializers import zeros
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_positive
+
+
+class BlockCirculantConv2D(Module):
+    """NCHW convolution with cross-channel block-circulant filters.
+
+    Drop-in replacement for :class:`repro.nn.Conv2D` with an extra
+    ``block_size`` knob: ``block_size = 1`` stores the full ``r²·C·P``
+    parameters (no compression), larger blocks divide the cross-channel
+    parameter count by ``k``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, field: int,
+                 block_size: int, stride: int = 1, padding: int = 0,
+                 bias: bool = True, seed=None, backend=None):
+        super().__init__()
+        ensure_positive(block_size, "block_size")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.field = field
+        self.stride = stride
+        self.padding = padding
+        self.block_size = block_size
+        self.backend = backend
+        self.pp, self.qc = block_dims(out_channels, in_channels, block_size)
+        rng = make_rng(seed)
+        fan_in = in_channels * field * field
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = self.add_parameter(
+            "weight",
+            rng.normal(
+                0.0, scale,
+                size=(field * field, self.pp, self.qc, block_size),
+            ),
+        )
+        self.bias = (
+            self.add_parameter("bias", zeros((out_channels,))) if bias else None
+        )
+        self._patch_blocks: np.ndarray | None = None
+        self._geometry: tuple[int, int, int] | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    # -- metadata -----------------------------------------------------------
+    @property
+    def dense_parameters(self) -> int:
+        """Filter parameters of the equivalent unstructured CONV layer."""
+        return self.out_channels * self.in_channels * self.field**2
+
+    @property
+    def compression_ratio(self) -> float:
+        """Filter-parameter reduction vs. unstructured convolution (≈ k)."""
+        return self.dense_parameters / self.weight.size
+
+    def to_dense_filters(self) -> np.ndarray:
+        """Expand to an unstructured ``(P, C, r, r)`` filter bank.
+
+        For tests: the expansion must make this layer agree with
+        :class:`~repro.nn.Conv2D` exactly.
+        """
+        k = self.block_size
+        i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        # (r2, pp, qc, k, k) circulant blocks, then lay out channel grids.
+        blocks = self.weight.value[:, :, :, (i - j) % k]
+        dense = blocks.transpose(0, 1, 3, 2, 4).reshape(
+            self.field**2, self.pp * k, self.qc * k
+        )
+        dense = dense[:, : self.out_channels, : self.in_channels]
+        filters = dense.reshape(
+            self.field, self.field, self.out_channels, self.in_channels
+        )
+        return filters.transpose(2, 3, 0, 1)
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for a given input size."""
+        return (
+            conv_output_size(height, self.field, self.stride, self.padding),
+            conv_output_size(width, self.field, self.stride, self.padding),
+        )
+
+    # -- compute --------------------------------------------------------------
+    def _partition_patches(self, patches: np.ndarray) -> np.ndarray:
+        """(BN, r², C) -> zero-padded channel blocks (BN, r², qc, k)."""
+        flat, r2, channels = patches.shape
+        k = self.block_size
+        if channels < self.qc * k:
+            padded = np.zeros((flat, r2, self.qc * k), dtype=np.float64)
+            padded[:, :, :channels] = patches
+            patches = padded
+        return patches.reshape(flat, r2, self.qc, k)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"BlockCirculantConv2D expects (batch, {self.in_channels}, "
+                f"H, W), got {x.shape}"
+            )
+        be = get_backend(self.backend)
+        batch = x.shape[0]
+        out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
+        positions = out_h * out_w
+        self._input_shape = x.shape
+        self._geometry = (batch, out_h, out_w)
+        cols = im2col(x, self.field, self.stride, self.padding)
+        # (B, N, C, r, r) -> (B*N, r², C): group by spatial offset, then
+        # partition the channel axis into circulant blocks.
+        patches = cols.transpose(0, 1, 3, 4, 2).reshape(
+            batch * positions, self.field**2, self.in_channels
+        )
+        self._patch_blocks = self._partition_patches(patches)
+        k = self.block_size
+        wf = be.rfft(self.weight.value)
+        pf = be.rfft(self._patch_blocks)
+        yf = np.einsum("sijf,bsjf->bif", wf, pf)
+        y_blocks = be.irfft(yf, n=k)
+        out = y_blocks.reshape(batch * positions, self.pp * k)
+        out = out[:, : self.out_channels]
+        if self.bias is not None:
+            out = out + self.bias.value
+        return (
+            out.reshape(batch, positions, self.out_channels)
+            .transpose(0, 2, 1)
+            .reshape(batch, self.out_channels, out_h, out_w)
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._patch_blocks is None or self._geometry is None:
+            raise RuntimeError("backward called before forward")
+        be = get_backend(self.backend)
+        batch, out_h, out_w = self._geometry
+        positions = out_h * out_w
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        expected = (batch, self.out_channels, out_h, out_w)
+        if grad_output.shape != expected:
+            raise ShapeError(
+                f"grad must have shape {expected}, got {grad_output.shape}"
+            )
+        k = self.block_size
+        grad_flat = grad_output.reshape(
+            batch, self.out_channels, positions
+        ).transpose(0, 2, 1).reshape(batch * positions, self.out_channels)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=0)
+        if self.out_channels < self.pp * k:
+            padded = np.zeros((batch * positions, self.pp * k))
+            padded[:, : self.out_channels] = grad_flat
+            grad_flat = padded
+        grad_blocks = grad_flat.reshape(batch * positions, self.pp, k)
+        wf = be.rfft(self.weight.value)
+        pf = be.rfft(self._patch_blocks)
+        gf = be.rfft(grad_blocks)
+        grad_wf = np.einsum("bif,bsjf->sijf", gf, np.conj(pf))
+        grad_pf = np.einsum("sijf,bif->bsjf", np.conj(wf), gf)
+        self.weight.grad += be.irfft(grad_wf, n=k)
+        grad_patches = be.irfft(grad_pf, n=k).reshape(
+            batch * positions, self.field**2, self.qc * k
+        )[:, :, : self.in_channels]
+        grad_cols = grad_patches.reshape(
+            batch, positions, self.field, self.field, self.in_channels
+        ).transpose(0, 1, 4, 2, 3)
+        return col2im(
+            grad_cols, self._input_shape, self.field, self.stride, self.padding
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCirculantConv2D({self.in_channels} -> {self.out_channels}, "
+            f"r={self.field}, k={self.block_size})"
+        )

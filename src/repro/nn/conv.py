@@ -1,0 +1,105 @@
+"""Unstructured 2-D convolution layer (paper Eq. 2 / Eq. 6 baseline).
+
+Implemented as im2col + matrix multiply, exactly the Caffe-style
+reformulation the paper describes in §3.2 (Fig 6), so the block-circulant
+variant differs only in how the ``(C·r², P)`` filter matrix is represented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.module import Module
+
+
+class Conv2D(Module):
+    """NCHW convolution with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        ``C`` and ``P`` in the paper's Eq. (6).
+    field:
+        Kernel size ``r``.
+    stride, padding:
+        Usual hyper-parameters (zero padding).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, field: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 seed=None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.field = field
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * field * field
+        self.weight = self.add_parameter(
+            "weight",
+            he_normal((out_channels, in_channels, field, field), fan_in, seed),
+        )
+        self.bias = (
+            self.add_parameter("bias", zeros((out_channels,))) if bias else None
+        )
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for a given input size."""
+        return (
+            conv_output_size(height, self.field, self.stride, self.padding),
+            conv_output_size(width, self.field, self.stride, self.padding),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2D expects (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        batch = x.shape[0]
+        out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
+        self._input_shape = x.shape
+        cols = im2col(x, self.field, self.stride, self.padding)
+        # (B, N, C, r, r) -> (B, N, C*r*r)
+        self._cols = cols.reshape(batch, out_h * out_w, -1)
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        out = self._cols @ w_mat.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_h, out_w
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, out_h, out_w = grad_output.shape
+        # (B, P, OH, OW) -> (B, N, P)
+        grad_flat = grad_output.reshape(
+            batch, self.out_channels, out_h * out_w
+        ).transpose(0, 2, 1)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=(0, 1))
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        grad_w = np.einsum("bnp,bnc->pc", grad_flat, self._cols)
+        self.weight.grad += grad_w.reshape(self.weight.value.shape)
+        grad_cols = grad_flat @ w_mat
+        grad_cols = grad_cols.reshape(
+            batch, out_h * out_w, self.in_channels, self.field, self.field
+        )
+        return col2im(
+            grad_cols, self._input_shape, self.field, self.stride, self.padding
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2D({self.in_channels} -> {self.out_channels}, "
+            f"r={self.field}, stride={self.stride}, pad={self.padding})"
+        )

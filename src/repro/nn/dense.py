@@ -1,0 +1,52 @@
+"""Unstructured fully-connected layer — the paper's baseline FC (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.module import Module
+
+
+class Dense(Module):
+    """``y = x @ W.T + b`` with an ``(out_features, in_features)`` weight.
+
+    This is the O(n^2)-compute, O(n^2)-storage layer that
+    :class:`~repro.nn.BlockCirculantDense` replaces.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.add_parameter(
+            "weight", he_normal((out_features, in_features), in_features, seed)
+        )
+        self.bias = self.add_parameter("bias", zeros((out_features,))) if bias else None
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Dense expects (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        out = x @ self.weight.value.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.weight.grad += grad_output.T @ self._input
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features} -> {self.out_features})"

@@ -1,0 +1,44 @@
+"""Inverted dropout (train-time scaling, identity at inference)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+from repro.utils.rng import make_rng
+
+
+class Dropout(Module):
+    """Zero each activation with probability ``rate`` during training.
+
+    Uses the inverted convention (kept activations scaled by
+    ``1 / (1 - rate)``) so inference is a plain identity — matching how the
+    hardware engine, which only implements inference (§5.4), sees the
+    network.
+    """
+
+    def __init__(self, rate: float, seed=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = make_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return np.asarray(grad_output)
+        return grad_output * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,164 @@
+"""FFT-based spatial convolution — the LeCun et al. baseline (paper §2.3).
+
+The paper contrasts CirCNN with Mathieu/Henaff/LeCun's FFT convolution
+[52]: transform each feature map and each filter with a 2-D FFT, multiply
+spectra, and inverse-transform. That method accelerates *large* filters by
+filter reuse but "cannot achieve either asymptotic speedup in big-O
+notation or weight compressions (in fact additional storage space is
+needed)" — the weights stay unstructured and the padded spectra are larger
+than the filters.
+
+:class:`FFTConv2D` implements the baseline faithfully (linear convolution
+via zero-padded circular convolution, numerically identical to
+:class:`repro.nn.Conv2D`), and
+:func:`fft_conv_extra_storage_factor` quantifies the §2.3 storage-increase
+remark. The complexity comparison against block-circulant CONV lives in
+:func:`repro.analysis.complexity.fft_conv_ops`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.module import Module
+from repro.utils.validation import next_power_of_two
+
+
+def _fft_sizes(height: int, width: int, field: int) -> tuple[int, int]:
+    """Padded 2-D FFT sizes for linear convolution of image and filter."""
+    return (
+        next_power_of_two(height + field - 1),
+        next_power_of_two(width + field - 1),
+    )
+
+
+def fft_conv_extra_storage_factor(height: int, width: int,
+                                  field: int) -> float:
+    """Spectrum words per filter relative to the filter's own weights.
+
+    The §2.3 criticism quantified: storing ``FFT2(filter)`` at the padded
+    image size takes ``fh * (fw/2 + 1) * 2`` reals against ``r^2``
+    weights — a large *increase* for the small filters of modern CNNs.
+    """
+    fft_h, fft_w = _fft_sizes(height, width, field)
+    spectrum_words = fft_h * (fft_w // 2 + 1) * 2
+    return spectrum_words / float(field * field)
+
+
+class FFTConv2D(Module):
+    """Unstructured convolution evaluated through 2-D FFTs (LeCun [52]).
+
+    Valid-mode convolution with optional zero padding, numerically equal
+    to :class:`repro.nn.Conv2D` (stride 1 only — the FFT method has no
+    cheap strided form, one of its practical limitations).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, field: int,
+                 padding: int = 0, bias: bool = True, seed=None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.field = field
+        self.padding = padding
+        fan_in = in_channels * field * field
+        self.weight = self.add_parameter(
+            "weight",
+            he_normal((out_channels, in_channels, field, field), fan_in, seed),
+        )
+        self.bias = (
+            self.add_parameter("bias", zeros((out_channels,))) if bias else None
+        )
+        self._input_padded: np.ndarray | None = None
+        self._fft_hw: tuple[int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    # -- helpers --------------------------------------------------------------
+    def _pad_input(self, x: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        pad = self.padding
+        return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    @staticmethod
+    def _corr_spectrum(weight: np.ndarray, fft_hw: tuple[int, int]) -> np.ndarray:
+        """2-D spectrum of the *flipped* filters (correlation, not conv)."""
+        flipped = weight[:, :, ::-1, ::-1]
+        return np.fft.rfft2(flipped, s=fft_hw)
+
+    # -- compute --------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"FFTConv2D expects (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        padded = self._pad_input(x)
+        batch, _, height, width = padded.shape
+        if height < self.field or width < self.field:
+            raise ShapeError(
+                f"padded input {height}x{width} smaller than the "
+                f"{self.field}x{self.field} filter"
+            )
+        fft_hw = _fft_sizes(height, width, self.field)
+        out_h = height - self.field + 1
+        out_w = width - self.field + 1
+        self._input_padded = padded
+        self._fft_hw = fft_hw
+        self._out_hw = (out_h, out_w)
+        xf = np.fft.rfft2(padded, s=fft_hw)                 # (B, C, FH, FWb)
+        wf = self._corr_spectrum(self.weight.value, fft_hw)  # (P, C, FH, FWb)
+        yf = np.einsum("bcij,pcij->bpij", xf, wf)
+        full = np.fft.irfft2(yf, s=fft_hw)
+        # Correlation output of interest starts at the filter offset.
+        start = self.field - 1
+        out = full[:, :, start : start + out_h, start : start + out_w]
+        if self.bias is not None:
+            out = out + self.bias.value[np.newaxis, :, np.newaxis, np.newaxis]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_padded is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, height, width = self._input_padded.shape
+        out_h, out_w = self._out_hw
+        expected = (batch, self.out_channels, out_h, out_w)
+        if grad_output.shape != expected:
+            raise ShapeError(
+                f"grad must have shape {expected}, got {grad_output.shape}"
+            )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        fft_hw = self._fft_hw
+        # Position the output gradient where the outputs came from.
+        grad_full = np.zeros((batch, self.out_channels) + fft_hw)
+        start = self.field - 1
+        grad_full[:, :, start : start + out_h, start : start + out_w] = (
+            grad_output
+        )
+        gf = np.fft.rfft2(grad_full, s=fft_hw)
+        xf = np.fft.rfft2(self._input_padded, s=fft_hw)
+        # dL/dW: correlation of input with output gradient.
+        wf_grad = np.einsum("bpij,bcij->pcij", gf, np.conj(xf))
+        grad_w_full = np.fft.irfft2(wf_grad, s=fft_hw)
+        grad_w = grad_w_full[:, :, : self.field, : self.field][:, :, ::-1, ::-1]
+        self.weight.grad += grad_w
+        # dL/dx: convolution of output gradient with the filters.
+        wf = self._corr_spectrum(self.weight.value, fft_hw)
+        xf_grad = np.einsum("bpij,pcij->bcij", gf, np.conj(wf))
+        grad_padded = np.fft.irfft2(xf_grad, s=fft_hw)[
+            :, :, :height, :width
+        ]
+        if self.padding > 0:
+            pad = self.padding
+            return grad_padded[:, :, pad:-pad, pad:-pad]
+        return grad_padded
+
+    def __repr__(self) -> str:
+        return (
+            f"FFTConv2D({self.in_channels} -> {self.out_channels}, "
+            f"r={self.field}, pad={self.padding})"
+        )

@@ -1,0 +1,102 @@
+"""im2col / col2im — the CONV-to-matrix reformulation of paper §3.2 (Fig 6).
+
+The paper accelerates CONV layers by rewriting the tensor convolution of
+Eq. (6) as the matrix product ``Y = X F`` (Caffe-style), where each row of
+``X`` is one receptive-field patch. These helpers perform that rewrite and
+its adjoint for NCHW tensors.
+
+Patches are returned *structured* as ``(batch, positions, C, r, r)`` so the
+block-circulant CONV layer can group the channel axis into circulant
+blocks; plain CONV flattens the last three axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, field: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - field) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"non-positive conv output: size={size}, field={field}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, field: int, stride: int = 1,
+           padding: int = 0) -> np.ndarray:
+    """Extract convolution patches from an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C, H, W)``.
+    field:
+        Square receptive-field size ``r``.
+    stride, padding:
+        Usual convolution hyper-parameters (zero padding).
+
+    Returns
+    -------
+    Array of shape ``(B, OH*OW, C, r, r)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW input, got shape {x.shape}")
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, field, stride, padding)
+    out_w = conv_output_size(width, field, stride, padding)
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    cols = np.empty(
+        (batch, channels, field, field, out_h, out_w), dtype=np.float64
+    )
+    for i in range(field):
+        i_end = i + stride * out_h
+        for j in range(field):
+            j_end = j + stride * out_w
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    # (B, C, r, r, OH, OW) -> (B, OH*OW, C, r, r)
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch, out_h * out_w, channels, field, field
+    )
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           field: int, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to NCHW.
+
+    ``cols`` has the ``(B, OH*OW, C, r, r)`` layout produced by
+    :func:`im2col`; overlapping patch positions accumulate, which makes
+    this exactly the transpose operator needed by convolution backward
+    passes (verified against finite differences in the tests).
+    """
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, field, stride, padding)
+    out_w = conv_output_size(width, field, stride, padding)
+    cols = np.asarray(cols, dtype=np.float64)
+    expected = (batch, out_h * out_w, channels, field, field)
+    if cols.shape != expected:
+        raise ShapeError(f"expected cols shape {expected}, got {cols.shape}")
+    blocks = cols.reshape(
+        batch, out_h, out_w, channels, field, field
+    ).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=np.float64,
+    )
+    for i in range(field):
+        i_end = i + stride * out_h
+        for j in range(field):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += blocks[:, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,71 @@
+"""Loss functions with explicit gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class SoftmaxCrossEntropyLoss:
+    """Softmax + cross-entropy against integer class labels.
+
+    ``forward(logits, labels)`` returns the mean loss;
+    ``backward()`` returns ``∂loss/∂logits`` (the familiar
+    ``(softmax - onehot) / batch``).
+    """
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be (batch, classes), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"labels must be (batch,) = ({logits.shape[0]},), got {labels.shape}"
+            )
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        self._labels = labels
+        picked = self._probs[np.arange(labels.size), labels]
+        return float(-np.mean(np.log(picked + 1e-300)))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        grad[np.arange(self._labels.size), self._labels] -= 1.0
+        return grad / self._labels.size
+
+    def predictions(self) -> np.ndarray:
+        """Arg-max class of the last forward pass."""
+        if self._probs is None:
+            raise RuntimeError("predictions requested before forward")
+        return np.argmax(self._probs, axis=1)
+
+
+class MSELoss:
+    """Mean squared error over all elements (regression / approximation)."""
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        outputs = np.asarray(outputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise ShapeError(
+                f"shape mismatch: outputs {outputs.shape} vs targets {targets.shape}"
+            )
+        self._diff = outputs - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

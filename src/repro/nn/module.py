@@ -1,0 +1,91 @@
+"""Module and Parameter — the base of the explicit-backward NN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers: explicit ``forward`` / ``backward`` pair.
+
+    Contract
+    --------
+    - ``forward(x)`` computes the output and caches whatever ``backward``
+      needs on ``self``.
+    - ``backward(grad_output)`` *accumulates* gradients into each
+      parameter's ``.grad`` and returns the gradient with respect to the
+      layer input. It must be called after the matching ``forward``.
+    - ``training`` toggles train/eval behaviour (dropout etc.).
+    """
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self.training = True
+
+    # -- parameter registry -------------------------------------------------
+    def add_parameter(self, name: str, value: np.ndarray) -> Parameter:
+        """Register a trainable tensor under ``name`` and return it."""
+        param = Parameter(value)
+        self._parameters[name] = param
+        return param
+
+    def named_parameters(self):
+        """Yield ``(name, Parameter)`` pairs of this module (not children)."""
+        yield from self._parameters.items()
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module (subclasses with children extend)."""
+        return list(self._parameters.values())
+
+    def num_parameters(self) -> int:
+        """Total trainable scalars — the storage quantity Fig 7 compares."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- modes ---------------------------------------------------------------
+    def train(self, flag: bool = True) -> "Module":
+        """Set training mode (affects e.g. dropout); returns self."""
+        self.training = flag
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode; returns self."""
+        return self.train(False)
+
+    # -- compute -------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

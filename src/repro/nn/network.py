@@ -1,0 +1,60 @@
+"""Sequential container — the cascaded-layer structure of paper Fig 2."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Sequential(Module):
+    """A feed-forward stack of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: list[Module] = list(layers)
+
+    def add(self, layer: Module) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def named_parameters(self):
+        for index, layer in enumerate(self.layers):
+            for name, param in layer.named_parameters():
+                yield f"layers.{index}.{name}", param
+
+    def train(self, flag: bool = True) -> "Sequential":
+        super().train(flag)
+        for layer in self.layers:
+            layer.train(flag)
+        return self
+
+    def summary(self) -> str:
+        """Human-readable per-layer listing with parameter counts."""
+        lines = ["Sequential:"]
+        for index, layer in enumerate(self.layers):
+            lines.append(
+                f"  [{index}] {layer!r}  params={layer.num_parameters()}"
+            )
+        lines.append(f"  total params: {self.num_parameters()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Sequential({len(self.layers)} layers)"

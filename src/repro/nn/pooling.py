@@ -1,0 +1,113 @@
+"""Pooling layers (paper §2.1, POOL).
+
+Max pooling is "the dominant type of pooling strategy in state-of-the-art
+DCNNs" per the paper; average pooling is provided for completeness. In the
+CirCNN architecture both run on the peripheral computing block through
+comparators (O(n) work), which the architecture simulator accounts for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+
+
+class _Pool2D(Module):
+    """Shared machinery: patch extraction and scatter-add backward."""
+
+    def __init__(self, field: int, stride: int | None = None):
+        super().__init__()
+        self.field = field
+        self.stride = field if stride is None else stride
+        self._input_shape: tuple[int, int, int, int] | None = None
+
+    def output_shape(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial output size for a given input size."""
+        return (
+            conv_output_size(height, self.field, self.stride, 0),
+            conv_output_size(width, self.field, self.stride, 0),
+        )
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ShapeError(f"pooling expects NCHW input, got {x.shape}")
+        self._input_shape = x.shape
+        cols = im2col(x, self.field, self.stride, 0)
+        batch, positions, channels = cols.shape[:3]
+        return cols.reshape(batch, positions, channels, self.field**2)
+
+    def _scatter(self, grad_patches: np.ndarray) -> np.ndarray:
+        batch, positions, channels = grad_patches.shape[:3]
+        cols = grad_patches.reshape(
+            batch, positions, channels, self.field, self.field
+        )
+        return col2im(cols, self._input_shape, self.field, self.stride, 0)
+
+    def _to_nchw(self, pooled: np.ndarray) -> np.ndarray:
+        batch, _, channels = pooled.shape
+        height, width = self.output_shape(
+            self._input_shape[2], self._input_shape[3]
+        )
+        return pooled.transpose(0, 2, 1).reshape(batch, channels, height, width)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over non-overlapping (or strided) square windows."""
+
+    def __init__(self, field: int, stride: int | None = None):
+        super().__init__(field, stride)
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        patches = self._patches(x)
+        self._argmax = np.argmax(patches, axis=-1)
+        return self._to_nchw(np.max(patches, axis=-1))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, out_h, out_w = grad_output.shape
+        grad_flat = grad_output.reshape(
+            batch, channels, out_h * out_w
+        ).transpose(0, 2, 1)
+        grad_patches = np.zeros(
+            grad_flat.shape + (self.field**2,), dtype=np.float64
+        )
+        np.put_along_axis(
+            grad_patches, self._argmax[..., np.newaxis],
+            grad_flat[..., np.newaxis], axis=-1,
+        )
+        return self._scatter(grad_patches)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D(field={self.field}, stride={self.stride})"
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over square windows."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        patches = self._patches(x)
+        return self._to_nchw(np.mean(patches, axis=-1))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, out_h, out_w = grad_output.shape
+        grad_flat = grad_output.reshape(
+            batch, channels, out_h * out_w
+        ).transpose(0, 2, 1)
+        share = grad_flat[..., np.newaxis] / float(self.field**2)
+        grad_patches = np.broadcast_to(
+            share, grad_flat.shape + (self.field**2,)
+        ).copy()
+        return self._scatter(grad_patches)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2D(field={self.field}, stride={self.stride})"

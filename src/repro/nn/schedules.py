@@ -1,0 +1,70 @@
+"""Learning-rate schedules and early stopping for the Trainer.
+
+Small, explicit implementations of the two training conveniences the
+accuracy experiments benefit from: step decay (halve the rate every N
+epochs) and patience-based early stopping on validation accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class StepDecay:
+    """Multiply the optimiser's learning rate by ``factor`` every
+    ``every_epochs`` epochs."""
+
+    every_epochs: int
+    factor: float = 0.5
+    min_lr: float = 1e-6
+
+    def __post_init__(self):
+        if self.every_epochs < 1:
+            raise ConfigurationError("every_epochs must be >= 1")
+        if not 0.0 < self.factor <= 1.0:
+            raise ConfigurationError("factor must be in (0, 1]")
+
+    def apply(self, optimizer: Optimizer, epoch: int) -> float:
+        """Update ``optimizer.lr`` for a (1-based) finished epoch count.
+
+        Returns the learning rate now in effect.
+        """
+        if epoch > 0 and epoch % self.every_epochs == 0:
+            optimizer.lr = max(self.min_lr, optimizer.lr * self.factor)
+        return optimizer.lr
+
+
+@dataclass
+class EarlyStopping:
+    """Stop when validation accuracy has not improved for ``patience``
+    epochs (by at least ``min_delta``)."""
+
+    patience: int = 5
+    min_delta: float = 0.0
+
+    def __post_init__(self):
+        if self.patience < 1:
+            raise ConfigurationError("patience must be >= 1")
+        self._best = float("-inf")
+        self._stale = 0
+
+    def update(self, val_accuracy: float) -> bool:
+        """Record one epoch's validation accuracy.
+
+        Returns True when training should stop.
+        """
+        if val_accuracy > self._best + self.min_delta:
+            self._best = val_accuracy
+            self._stale = 0
+            return False
+        self._stale += 1
+        return self._stale >= self.patience
+
+    @property
+    def best(self) -> float:
+        """Best validation accuracy seen so far."""
+        return self._best

@@ -1,0 +1,120 @@
+"""Mini-batch training loop.
+
+The paper's accuracy study (Fig 7b) trains a dense and a block-circulant
+version of each network with identical hyper-parameters and compares test
+accuracy; :class:`Trainer` is the shared loop that makes those runs
+comparable (same batching, same shuffling RNG, same schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.losses import SoftmaxCrossEntropyLoss
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curve."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        """Validation accuracy after the last epoch (nan if never measured)."""
+        return self.val_accuracy[-1] if self.val_accuracy else float("nan")
+
+
+def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        rng=None, shuffle: bool = True):
+    """Yield ``(x_batch, y_batch)`` slices covering the whole dataset."""
+    if len(x) != len(y):
+        raise ShapeError(f"x has {len(x)} rows but y has {len(y)}")
+    order = np.arange(len(x))
+    if shuffle:
+        make_rng(rng).shuffle(order)
+    for start in range(0, len(x), batch_size):
+        chosen = order[start : start + batch_size]
+        yield x[chosen], y[chosen]
+
+
+class Trainer:
+    """Drives epochs of forward/backward/step over a classification task."""
+
+    def __init__(self, network: Sequential, optimizer: Optimizer,
+                 loss: SoftmaxCrossEntropyLoss | None = None, seed=None):
+        self.network = network
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else SoftmaxCrossEntropyLoss()
+        self.rng = make_rng(seed)
+
+    def train_epoch(self, x: np.ndarray, y: np.ndarray,
+                    batch_size: int = 32) -> tuple[float, float]:
+        """One pass over the data; returns (mean loss, accuracy)."""
+        self.network.train()
+        total_loss = 0.0
+        correct = 0
+        for bx, by in iterate_minibatches(x, y, batch_size, self.rng):
+            logits = self.network(bx)
+            batch_loss = self.loss.forward(logits, by)
+            self.optimizer.zero_grad()
+            self.network.backward(self.loss.backward())
+            self.optimizer.step()
+            total_loss += batch_loss * len(bx)
+            correct += int(np.sum(self.loss.predictions() == by))
+        return total_loss / len(x), correct / len(x)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Classification accuracy in eval mode (dropout disabled)."""
+        self.network.eval()
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            logits = self.network(x[start : start + batch_size])
+            predictions = np.argmax(logits, axis=1)
+            correct += int(np.sum(predictions == y[start : start + batch_size]))
+        self.network.train()
+        return correct / len(x)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int,
+            batch_size: int = 32, x_val: np.ndarray | None = None,
+            y_val: np.ndarray | None = None, schedule=None,
+            early_stopping=None, verbose: bool = False) -> TrainingHistory:
+        """Train for up to ``epochs`` passes; returns the history.
+
+        ``schedule`` is an optional :class:`repro.nn.schedules.StepDecay`
+        (or anything with ``apply(optimizer, epoch)``); ``early_stopping``
+        an optional :class:`repro.nn.schedules.EarlyStopping`, which
+        requires validation data and ends training when triggered.
+        """
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            loss, accuracy = self.train_epoch(x, y, batch_size)
+            history.train_loss.append(loss)
+            history.train_accuracy.append(accuracy)
+            if x_val is not None and y_val is not None:
+                history.val_accuracy.append(self.evaluate(x_val, y_val))
+            if verbose:
+                val = (
+                    f" val_acc={history.val_accuracy[-1]:.3f}"
+                    if history.val_accuracy
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{epochs}: loss={loss:.4f} "
+                    f"acc={accuracy:.3f}{val}"
+                )
+            if schedule is not None:
+                schedule.apply(self.optimizer, epoch + 1)
+            if early_stopping is not None and history.val_accuracy:
+                if early_stopping.update(history.val_accuracy[-1]):
+                    break
+        return history

@@ -1,0 +1,90 @@
+"""Signed fixed-point (Q-format) arithmetic simulation.
+
+A :class:`FixedPointFormat` with ``total_bits = t`` and ``frac_bits = f``
+represents values ``i * 2^-f`` for integers ``i`` in
+``[-2^(t-1), 2^(t-1) - 1]``. Quantisation rounds to the nearest code and
+saturates at the representable range — the behaviour of the paper's 16-bit
+datapath (§4.2: "We use 16-bit fixed point numbers for input and weight
+representations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format Q(t-f-1).f.
+
+    Attributes
+    ----------
+    total_bits:
+        Word length including the sign bit (e.g. 16 for the paper's
+        datapath, 4 for the near-threshold mode).
+    frac_bits:
+        Bits to the right of the binary point. May be negative (coarse
+        formats for large dynamic ranges) or exceed ``total_bits - 1``.
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise ConfigurationError(
+                f"total_bits must be >= 2 (sign + magnitude), got {self.total_bits}"
+            )
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit: ``2^-frac_bits``."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value: ``(2^(t-1) - 1) * 2^-f``."""
+        return (2 ** (self.total_bits - 1) - 1) * self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value: ``-2^(t-1) * 2^-f``."""
+        return -(2 ** (self.total_bits - 1)) * self.resolution
+
+    @property
+    def num_codes(self) -> int:
+        """Number of representable codes: ``2^total_bits``."""
+        return 2**self.total_bits
+
+    def quantize_to_int(self, x: np.ndarray) -> np.ndarray:
+        """Map real values to integer codes (round-to-nearest, saturating)."""
+        x = np.asarray(x, dtype=np.float64)
+        codes = np.rint(x / self.resolution)
+        lo = -(2 ** (self.total_bits - 1))
+        hi = 2 ** (self.total_bits - 1) - 1
+        return np.clip(codes, lo, hi).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer codes back to real values."""
+        return np.asarray(codes, dtype=np.float64) * self.resolution
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quantise: round-trip real values through the format.
+
+        This is the standard software simulation of fixed-point hardware:
+        the result is a float array whose values all lie on the format's
+        grid, so downstream float arithmetic sees exactly the quantised
+        numbers.
+        """
+        return self.dequantize(self.quantize_to_int(x))
+
+    def quantization_error(self, x: np.ndarray) -> np.ndarray:
+        """Element-wise error ``quantize(x) - x``."""
+        return self.quantize(x) - np.asarray(x, dtype=np.float64)
+
+    def __str__(self) -> str:
+        return f"Q{self.total_bits - 1 - self.frac_bits}.{self.frac_bits}"

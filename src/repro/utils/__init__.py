@@ -1,0 +1,21 @@
+"""Small shared utilities: argument validation and seeded RNG helpers."""
+
+from repro.utils.validation import (
+    ensure_divisible,
+    ensure_in_range,
+    ensure_positive,
+    ensure_power_of_two,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "ensure_divisible",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_power_of_two",
+    "is_power_of_two",
+    "next_power_of_two",
+    "make_rng",
+]

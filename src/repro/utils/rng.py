@@ -1,0 +1,24 @@
+"""Seeded random-number-generator helpers.
+
+All stochastic code in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+funnels through :func:`make_rng` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed-like value.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (OS entropy), an ``int`` seed, or an existing ``Generator``
+        (returned unchanged so call sites can thread one RNG through).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

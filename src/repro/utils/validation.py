@@ -1,0 +1,59 @@
+"""Argument-validation helpers used across the library.
+
+These raise :mod:`repro.errors` exceptions with messages that name the
+offending argument, so failures surface at the public API boundary instead
+of deep inside a NumPy kernel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, NotPowerOfTwoError, ShapeError
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive integral power of two."""
+    return isinstance(n, (int,)) and n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two that is >= ``n`` (n must be >= 1)."""
+    if n < 1:
+        raise ShapeError(f"next_power_of_two requires n >= 1, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def ensure_power_of_two(n: int, name: str = "n") -> int:
+    """Validate that ``n`` is a power of two and return it."""
+    if not is_power_of_two(n):
+        raise NotPowerOfTwoError(f"{name} must be a power of two, got {n!r}")
+    return n
+
+
+def ensure_positive(value, name: str = "value"):
+    """Validate that a scalar is strictly positive and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def ensure_divisible(numerator: int, divisor: int, name: str = "value") -> int:
+    """Validate that ``numerator`` is an exact multiple of ``divisor``.
+
+    Returns the quotient ``numerator // divisor``.
+    """
+    if divisor <= 0:
+        raise ConfigurationError(f"divisor for {name} must be > 0, got {divisor}")
+    if numerator % divisor != 0:
+        raise ShapeError(
+            f"{name}={numerator} is not divisible by block size {divisor}"
+        )
+    return numerator // divisor
+
+
+def ensure_in_range(value, low, high, name: str = "value"):
+    """Validate that ``low <= value <= high`` and return ``value``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value

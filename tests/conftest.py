@@ -1,0 +1,54 @@
+"""Shared pytest fixtures and helpers for the CirCNN reproduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator so every test is deterministic."""
+    return np.random.default_rng(12345)
+
+
+def numeric_gradient(loss_fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar ``loss_fn`` w.r.t. ``array``.
+
+    ``loss_fn`` takes no arguments and reads ``array`` in place; the helper
+    perturbs entries one at a time and restores them.
+    """
+    grad = np.zeros_like(array, dtype=np.float64)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        loss_plus = loss_fn()
+        array[index] = original - eps
+        loss_minus = loss_fn()
+        array[index] = original
+        grad[index] = (loss_plus - loss_minus) / (2.0 * eps)
+    return grad
+
+
+def assert_layer_gradients(layer, x: np.ndarray, rng: np.random.Generator,
+                           atol: float = 1e-5) -> None:
+    """Finite-difference check of a Module's input and parameter gradients."""
+    output = layer.forward(x)
+    cotangent = rng.normal(size=output.shape)
+
+    def loss() -> float:
+        return float(np.sum(layer.forward(x) * cotangent))
+
+    layer.zero_grad()
+    layer.forward(x)
+    grad_input = layer.backward(cotangent)
+    grad_input_num = numeric_gradient(loss, x)
+    np.testing.assert_allclose(grad_input, grad_input_num, atol=atol)
+    for name, param in layer.named_parameters():
+        grad_num = numeric_gradient(loss, param.value)
+        np.testing.assert_allclose(
+            param.grad, grad_num, atol=atol,
+            err_msg=f"parameter gradient mismatch: {name}",
+        )

@@ -1,0 +1,164 @@
+"""Tests for complexity accounting and the approximation-bound demo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    approximation_error_curve,
+    block_circulant_conv_work,
+    block_circulant_fc_work,
+    dense_fc_ops,
+    fc_compute_speedup,
+    fit_inverse_width_law,
+    model_work,
+    pool_work,
+    training_step_ops,
+)
+from repro.models import (
+    alexnet_spec,
+    default_alexnet_fc_plan,
+    default_alexnet_full_plan,
+)
+from repro.models.descriptors import ConvSpec, DenseSpec, PoolSpec
+
+
+class TestFCWork:
+    def test_dense_ops(self):
+        assert dense_fc_ops(4096, 9216) == 2 * 4096 * 9216
+
+    def test_block_work_counts(self):
+        work = block_circulant_fc_work(DenseSpec("fc", 1024, 512), 128)
+        p, q = 4, 8
+        bins = 65
+        assert work.fft_size == 128
+        assert work.num_fft == p + q
+        assert work.cmult == p * q * bins
+        assert work.cadd == p * (q - 1) * bins
+        assert work.dense_macs == 1024 * 512
+
+    def test_k1_degenerates_to_dense(self):
+        work = block_circulant_fc_work(DenseSpec("fc", 100, 50), 1)
+        assert work.fft_size == 0
+        assert work.num_fft == 0
+        assert work.scalar_ops >= dense_fc_ops(50, 100)
+
+    def test_non_power_of_two_block_pads_fft(self):
+        work = block_circulant_fc_work(DenseSpec("fc", 800, 500), 500)
+        assert work.fft_size == 512  # radix-2 engine pads to 512
+
+    def test_complexity_reduction_grows_with_k(self):
+        speedups = [fc_compute_speedup(4096, 4096, k) for k in (16, 64, 256, 1024)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 50.0
+
+    def test_speedup_matches_asymptotic_shape(self):
+        # O(n^2) / O(n log n) at m = n = k: ratio ~ n / log n.
+        ratio_1k = fc_compute_speedup(1024, 1024, 1024)
+        ratio_4k = fc_compute_speedup(4096, 4096, 4096)
+        growth = ratio_4k / ratio_1k
+        # n grows 4x, log n grows 1.2x -> expect ~3.3x growth.
+        assert 2.5 < growth < 4.0
+
+    def test_butterflies_and_ops_consistent(self):
+        work = block_circulant_fc_work(DenseSpec("fc", 256, 256), 64)
+        assert work.fft_real_ops == work.butterflies * 10
+        assert work.total_real_ops == work.fft_real_ops + work.peripheral_real_ops
+
+
+class TestConvWork:
+    def test_conv_work_counts(self):
+        spec = ConvSpec("conv", 64, 128, 3, in_hw=(16, 16), padding=1)
+        work = block_circulant_conv_work(spec, 32)
+        positions = 256
+        pp, qc, bins, r2 = 4, 2, 17, 9
+        assert work.num_fft == positions * (r2 * qc + pp)
+        assert work.cmult == positions * r2 * pp * qc * bins
+        assert work.dense_macs == spec.macs
+
+    def test_conv_k1_is_dense_macs(self):
+        spec = ConvSpec("conv", 3, 96, 11, in_hw=(227, 227), stride=4)
+        work = block_circulant_conv_work(spec, 1)
+        assert work.scalar_ops >= 2 * spec.macs
+
+    def test_conv_compression_reduces_ops(self):
+        spec = ConvSpec("conv", 256, 384, 3, in_hw=(13, 13), padding=1)
+        dense_ops = 2 * spec.macs
+        compressed = block_circulant_conv_work(spec, 32).total_real_ops
+        assert dense_ops / compressed > 5.0
+
+    def test_pool_work_is_linear(self):
+        spec = PoolSpec("pool", 96, 3, in_hw=(55, 55), stride=2)
+        work = pool_work(spec)
+        assert work.fft_size == 0
+        assert work.scalar_ops == spec.comparisons
+        assert work.dense_macs == 0
+
+
+class TestModelWork:
+    def test_covers_every_layer(self):
+        spec = alexnet_spec()
+        works = model_work(spec, default_alexnet_full_plan())
+        assert [w.name for w in works] == [l.name for l in spec.layers]
+
+    def test_equivalent_macs_preserved(self):
+        spec = alexnet_spec()
+        works = model_work(spec, default_alexnet_full_plan())
+        assert sum(w.dense_macs for w in works) == spec.total_macs
+
+    def test_full_plan_cheaper_than_fc_plan(self):
+        spec = alexnet_spec()
+        fc_only = sum(
+            w.total_real_ops for w in model_work(spec, default_alexnet_fc_plan())
+        )
+        full = sum(
+            w.total_real_ops
+            for w in model_work(spec, default_alexnet_full_plan())
+        )
+        assert full < fc_only
+
+
+class TestTrainingOps:
+    def test_dense_training_is_three_products(self):
+        ops = training_step_ops(512, 512, 1, batch=4)
+        assert ops["dense"] == 3 * dense_fc_ops(512, 512) * 4
+        assert ops["block_circulant"] == ops["dense"]
+
+    def test_block_training_speedup_band(self):
+        ops = training_step_ops(2048, 2048, 256, batch=32)
+        speedup = ops["dense"] / ops["block_circulant"]
+        assert speedup > 10.0
+
+    def test_training_speedup_grows_with_k(self):
+        speedups = []
+        for k in (32, 128, 512):
+            ops = training_step_ops(2048, 2048, k, batch=8)
+            speedups.append(ops["dense"] / ops["block_circulant"])
+        assert speedups == sorted(speedups)
+
+
+class TestApproximation:
+    def test_error_decreases_with_width(self):
+        curve = approximation_error_curve(
+            [16, 64, 256], block_size=8, num_samples=768, num_seeds=2, seed=0
+        )
+        errors = [e for _, e in curve]
+        assert errors[0] > errors[-1]
+
+    def test_inverse_width_fit_positive_exponent(self):
+        curve = approximation_error_curve(
+            [16, 64, 256], block_size=8, num_samples=768, num_seeds=2, seed=0
+        )
+        fit = fit_inverse_width_law(curve)
+        # Consistent with universal approximation: error shrinks with n.
+        assert fit.alpha > 0.1
+
+    def test_fit_on_exact_inverse_law(self):
+        curve = [(n, 10.0 / n) for n in (8, 16, 32, 64)]
+        fit = fit_inverse_width_law(curve)
+        assert fit.alpha == pytest.approx(1.0, abs=1e-9)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(Exception):
+            fit_inverse_width_law([(8, 0.5)])

@@ -1,0 +1,242 @@
+"""Tests for the architecture simulator components."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arch import (
+    ArchitectureConfig,
+    BasicComputingBlock,
+    EnergyModel,
+    MemorySubsystem,
+    PeripheralComputingBlock,
+    pipeline_scheme,
+)
+from repro.arch.memory import DRAM_TO_SRAM_ENERGY_RATIO
+from repro.errors import ConfigurationError, NotPowerOfTwoError
+
+
+def _config(**overrides) -> ArchitectureConfig:
+    defaults = dict(
+        parallelism=16, depth=2, frequency_hz=200e6, multipliers=64,
+        alus=128, memory_words_per_cycle=64, data_bits=16,
+    )
+    defaults.update(overrides)
+    return ArchitectureConfig(**defaults)
+
+
+def _energy() -> EnergyModel:
+    return EnergyModel(
+        mult_energy_j=1e-12, add_energy_j=1e-13, register_energy_j=1e-14
+    )
+
+
+def _memory() -> MemorySubsystem:
+    return MemorySubsystem(
+        on_chip_capacity_bytes=1 << 20, sram_bit_energy_j=1e-13
+    )
+
+
+class TestArchitectureConfig:
+    def test_butterfly_units(self):
+        assert _config(parallelism=32, depth=3).butterfly_units == 96
+
+    def test_with_pd(self):
+        config = _config().with_pd(parallelism=8)
+        assert config.parallelism == 8
+        assert config.depth == 2
+
+    def test_depth_bound(self):
+        with pytest.raises(ConfigurationError):
+            _config(depth=4)
+        with pytest.raises(ConfigurationError):
+            _config(depth=0)
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            _config(parallelism=0)
+        with pytest.raises(ConfigurationError):
+            _config(frequency_hz=0)
+        with pytest.raises(ConfigurationError):
+            _config(memory_words_per_cycle=0)
+
+
+class TestEnergyModel:
+    def test_composite_ops(self):
+        model = _energy()
+        assert model.butterfly_energy_j == pytest.approx(4e-12 + 6e-13)
+        assert model.complex_mult_energy_j == pytest.approx(4e-12 + 2e-13)
+        assert model.mac_energy_j == pytest.approx(1.1e-12)
+
+    def test_bit_scaling(self):
+        model = _energy()
+        scaled = model.scaled(bits=4)
+        # Multiplier quadratic, adder linear.
+        assert scaled.mult_energy_j == pytest.approx(1e-12 / 16)
+        assert scaled.add_energy_j == pytest.approx(1e-13 / 4)
+
+    def test_voltage_scaling(self):
+        scaled = _energy().scaled(voltage=0.5)
+        assert scaled.mult_energy_j == pytest.approx(0.25e-12)
+
+    def test_combined_near_threshold_scaling(self):
+        # The Fig 15 lever: 16->4 bits at 0.55 V shrinks multiplier energy
+        # by (1/16) * 0.3 ~ 53x.
+        scaled = _energy().scaled(bits=4, voltage=0.55)
+        factor = _energy().mult_energy_j / scaled.mult_energy_j
+        assert factor == pytest.approx(16 / 0.55**2, rel=1e-6)
+
+    def test_invalid_scaling(self):
+        with pytest.raises(ConfigurationError):
+            _energy().scaled(bits=1)
+        with pytest.raises(ConfigurationError):
+            _energy().scaled(voltage=0.0)
+
+
+class TestMemorySubsystem:
+    def test_dram_ratio_default_is_papers_200x(self):
+        memory = _memory()
+        ratio = memory.effective_dram_bit_energy_j / memory.sram_bit_energy_j
+        assert ratio == DRAM_TO_SRAM_ENERGY_RATIO
+
+    def test_fits_on_chip(self):
+        memory = _memory()
+        assert memory.fits_on_chip(1 << 19)
+        assert not memory.fits_on_chip(1 << 21)
+
+    def test_weight_energy_on_chip(self):
+        memory = _memory()
+        energy = memory.weight_access_energy_j(1000, 16, model_bytes=1 << 18)
+        assert energy == pytest.approx(
+            1000 * 16 * memory.scaled_sram_bit_energy_j()
+        )
+
+    def test_weight_energy_with_dram_overflow(self):
+        memory = _memory()
+        on_chip = memory.weight_access_energy_j(1000, 16, 1 << 19)
+        overflow = memory.weight_access_energy_j(1000, 16, 1 << 22)
+        # 75% of the traffic pays the 200x DRAM energy against the
+        # capacity-scaled on-chip energy: a >30x blow-up.
+        assert overflow > 30 * on_chip
+
+    def test_capacity_scaling_monotone(self):
+        small = MemorySubsystem(64 * 1024, 1e-13)
+        large = MemorySubsystem(16 << 20, 1e-13)
+        assert large.scaled_sram_bit_energy_j() > small.scaled_sram_bit_energy_j()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemorySubsystem(0, 1e-13)
+
+
+class TestBasicComputingBlock:
+    def _block(self, **overrides) -> BasicComputingBlock:
+        return BasicComputingBlock(_config(**overrides), _energy(), _memory())
+
+    def test_level_groups(self):
+        block = self._block(depth=2)
+        assert block.level_groups(128) == 4   # ceil(7 / 2)
+        assert block.level_groups(2) == 1
+        assert self._block(depth=3).level_groups(128) == 3
+
+    def test_cycle_formula(self):
+        # 64-point real FFT: 6 levels, 16 butterflies/level.
+        block = self._block(parallelism=16, depth=2)
+        report = block.run_ffts(64, count=10)
+        assert report.cycles == 10 * 3 * 1  # ceil(6/2) groups x 1 cycle
+
+    def test_small_fft_underutilises(self):
+        # A size-8 FFT has 2 butterflies per level; p = 16 lanes mostly idle.
+        block = self._block(parallelism=16, depth=1)
+        report = block.run_ffts(8, count=100)
+        assert report.utilization < 0.2
+        big = block.run_ffts(256, count=100)
+        assert big.utilization > report.utilization
+
+    def test_doubling_p_helps_only_large_ffts(self):
+        narrow = self._block(parallelism=16, depth=1)
+        wide = self._block(parallelism=32, depth=1)
+        large_gain = (
+            narrow.run_ffts(256, 10).cycles / wide.run_ffts(256, 10).cycles
+        )
+        small_gain = (
+            narrow.run_ffts(16, 10).cycles / wide.run_ffts(16, 10).cycles
+        )
+        assert large_gain == pytest.approx(2.0)
+        assert small_gain == pytest.approx(1.0)
+
+    def test_depth_reduces_memory_traffic(self):
+        # §4.3: larger d means fewer level-group round trips.
+        shallow = self._block(depth=1).run_ffts(128, 10)
+        deep = self._block(depth=2).run_ffts(128, 10)
+        assert deep.traffic_words < shallow.traffic_words
+
+    def test_energy_components_positive(self):
+        report = self._block().run_ffts(64, 5)
+        assert report.compute_energy_j > 0
+        assert report.traffic_energy_j > 0
+        assert report.twiddle_energy_j > 0
+        assert report.total_energy_j == pytest.approx(
+            report.compute_energy_j + report.traffic_energy_j
+            + report.twiddle_energy_j
+        )
+
+    def test_zero_count(self):
+        report = self._block().run_ffts(64, 0)
+        assert report.cycles == 0
+        assert report.total_energy_j == 0.0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(NotPowerOfTwoError):
+            self._block().run_ffts(48, 4)
+
+    def test_butterfly_count_matches_ops_counter(self):
+        from repro.fftcore import real_fft_butterflies
+
+        report = self._block().run_ffts(128, 7)
+        assert report.butterflies == 7 * real_fft_butterflies(128)
+
+
+class TestPeripheralBlock:
+    def _peripheral(self, **overrides) -> PeripheralComputingBlock:
+        return PeripheralComputingBlock(_config(**overrides), _energy())
+
+    def test_cycle_accounting(self):
+        block = self._peripheral(multipliers=64, alus=128)
+        report = block.run(cmult=160, cadd=0, scalar_ops=0)
+        assert report.cycles == math.ceil(160 * 4 / 64)
+
+    def test_energy_accounting(self):
+        block = self._peripheral()
+        report = block.run(cmult=10, cadd=5, scalar_ops=0)
+        expected = 10 * _energy().complex_mult_energy_j + 5 * 2 * _energy().add_energy_j
+        assert report.energy_j == pytest.approx(expected)
+
+    def test_zero_work(self):
+        report = self._peripheral().run(0, 0, 0)
+        assert report.cycles == 0
+        assert report.energy_j == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._peripheral().run(-1, 0, 0)
+
+
+class TestPipelineSchemes:
+    def test_inter_level_is_neutral(self):
+        scheme = pipeline_scheme("inter_level")
+        assert scheme.effective_frequency(200e6) == 200e6
+        assert scheme.effective_cycles(100) == 100
+        assert scheme.register_writes_per_butterfly == 0
+
+    def test_intra_level_boosts_frequency_with_overheads(self):
+        scheme = pipeline_scheme("intra_level")
+        assert scheme.effective_frequency(200e6) == 400e6
+        assert scheme.effective_cycles(100) > 100
+        assert scheme.register_writes_per_butterfly > 0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_scheme("superscalar")

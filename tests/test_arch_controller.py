@@ -1,0 +1,153 @@
+"""Tests for the control subsystem (instruction compiler + engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Engine, compile_program, map_model
+from repro.arch.controller import (
+    ConfigureFFT,
+    ControlProgram,
+    MoveData,
+    RunFFTBatch,
+    RunPeripheral,
+    layer_work_from_program,
+)
+from repro.arch.platforms import fpga_cyclone_v
+from repro.errors import ConfigurationError
+from repro.models import (
+    CompressionPlan,
+    alexnet_spec,
+    default_alexnet_full_plan,
+    default_lenet5_plan,
+    lenet5_spec,
+    mnist_mlp_spec,
+    default_fig14_plans,
+)
+
+
+class TestCompilation:
+    def test_every_layer_emits_instructions(self):
+        spec = lenet5_spec()
+        program = compile_program(spec, default_lenet5_plan())
+        for layer in spec.layers:
+            assert program.for_layer(layer.name), layer.name
+
+    def test_fft_layers_configure_before_running(self):
+        program = compile_program(
+            mnist_mlp_spec(), default_fig14_plans()["mnist_mlp"]
+        )
+        seen_sizes: dict[str, int] = {}
+        for instruction in program.instructions:
+            if isinstance(instruction, ConfigureFFT):
+                seen_sizes[instruction.layer] = instruction.fft_size
+            if isinstance(instruction, RunFFTBatch):
+                assert seen_sizes.get(instruction.layer) == instruction.fft_size
+
+    def test_uncompressed_layer_has_no_fft_instructions(self):
+        spec = lenet5_spec()
+        program = compile_program(spec, CompressionPlan())
+        assert not any(
+            isinstance(i, (ConfigureFFT, RunFFTBatch))
+            for i in program.instructions
+        )
+
+    def test_fft_sizes_reported(self):
+        program = compile_program(
+            alexnet_spec(), default_alexnet_full_plan()
+        )
+        sizes = program.fft_sizes()
+        assert sizes and all(s & (s - 1) == 0 for s in sizes)
+
+    def test_work_summary_matches_model_work(self):
+        from repro.analysis.complexity import model_work
+
+        spec = lenet5_spec()
+        plan = default_lenet5_plan()
+        program = compile_program(spec, plan)
+        for work in model_work(spec, plan):
+            summary = layer_work_from_program(program, work.name)
+            assert summary["cmult"] == work.cmult
+            assert summary["scalar"] == work.scalar_ops
+            if work.fft_size > 1:
+                assert summary["fft"] == work.num_fft
+
+    def test_listing_is_readable(self):
+        program = compile_program(lenet5_spec(), default_lenet5_plan())
+        listing = program.listing()
+        assert "RunFFTBatch" in listing and "MoveData" in listing
+
+
+class TestEngineExecution:
+    def test_trace_totals_positive(self):
+        platform = fpga_cyclone_v()
+        program = compile_program(
+            alexnet_spec(), default_alexnet_full_plan()
+        )
+        trace = Engine(platform).execute(program, model_weight_bytes=4e5)
+        assert trace.fft_cycles > 0
+        assert trace.peripheral_cycles > 0
+        assert trace.total_energy_j > 0
+        assert trace.reconfigurations >= 1
+
+    def test_engine_agrees_with_mapper(self):
+        """The instruction stream is the same execution the mapper costs:
+        per-engine cycle totals and dynamic energy must match."""
+        spec = alexnet_spec()
+        plan = default_alexnet_full_plan()
+        platform = fpga_cyclone_v()
+        report = map_model(spec, plan, platform)
+        trace = Engine(platform).execute(
+            program=compile_program(spec, plan),
+            model_weight_bytes=report.model_weight_bytes,
+        )
+        assert trace.fft_cycles == sum(l.fft_cycles for l in report.layers)
+        assert trace.peripheral_cycles == sum(
+            l.peripheral_cycles for l in report.layers
+        )
+        assert trace.total_energy_j == pytest.approx(
+            report.dynamic_energy_j, rel=1e-9
+        )
+
+    def test_reconfiguration_counting(self):
+        # Same FFT size in consecutive layers -> one reconfiguration.
+        program = ControlProgram(
+            "toy",
+            (
+                ConfigureFFT("a", 64), RunFFTBatch("a", 64, 4),
+                ConfigureFFT("b", 64), RunFFTBatch("b", 64, 4),
+                ConfigureFFT("c", 128), RunFFTBatch("c", 128, 4),
+            ),
+        )
+        trace = Engine(fpga_cyclone_v()).execute(program)
+        assert trace.reconfigurations == 2
+
+    def test_misconfigured_batch_rejected(self):
+        program = ControlProgram(
+            "broken", (RunFFTBatch("layer", 64, 4),)
+        )
+        with pytest.raises(ConfigurationError):
+            Engine(fpga_cyclone_v()).execute(program)
+
+    def test_one_engine_runs_many_networks(self):
+        # §5.4 reconfigurability: the same engine object executes
+        # different networks back to back.
+        engine = Engine(fpga_cyclone_v())
+        plans = default_fig14_plans()
+        first = engine.execute(
+            compile_program(mnist_mlp_spec(), plans["mnist_mlp"])
+        )
+        second = engine.execute(
+            compile_program(lenet5_spec(), default_lenet5_plan())
+        )
+        assert first.fft_cycles != second.fft_cycles
+
+
+class TestInstructionTypes:
+    def test_move_data_is_plain_record(self):
+        move = MoveData("fc", 100, 200)
+        assert move.weight_words == 100
+
+    def test_run_peripheral_record(self):
+        run = RunPeripheral("fc", 1, 2, 3)
+        assert (run.cmult, run.cadd, run.scalar_ops) == (1, 2, 3)

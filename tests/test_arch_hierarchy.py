@@ -1,0 +1,122 @@
+"""Tests for the §4.4 memory-hierarchy and prefetching model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    AccessPattern,
+    CacheModel,
+    analyze_hierarchy,
+    block_circulant_access_pattern,
+    pruned_sparse_access_pattern,
+    required_memory_levels,
+    sram_max_frequency_hz,
+)
+from repro.errors import ConfigurationError
+
+FOUR_MB = 4 * 2**20
+
+
+class TestFrequencyModel:
+    def test_small_bank_is_fast(self):
+        assert sram_max_frequency_hz(64 * 1024) >= 1e9
+
+    def test_frequency_falls_with_capacity(self):
+        small = sram_max_frequency_hz(64 * 1024)
+        large = sram_max_frequency_hz(FOUR_MB)
+        assert large < small
+        # sqrt scaling: 64x capacity -> 8x slower.
+        assert small / large == pytest.approx(8.0, rel=1e-6)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            sram_max_frequency_hz(0)
+
+
+class TestLevelRequirement:
+    def test_paper_200mhz_single_level(self):
+        # §4.4: "if we target ... 200MHz ... memory hierarchy is not
+        # necessary" for a multiple-MB memory.
+        assert required_memory_levels(200e6, FOUR_MB) == 1
+
+    def test_paper_800mhz_needs_hierarchy(self):
+        # §4.4: "if we target ... 800MHz, an effective memory hierarchy
+        # with at least two levels ... becomes necessary".
+        assert required_memory_levels(800e6, FOUR_MB) == 2
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            required_memory_levels(0, FOUR_MB)
+
+
+class TestAccessPatterns:
+    def test_block_circulant_is_regular(self):
+        assert block_circulant_access_pattern().regularity > 0.9
+
+    def test_pruned_is_irregular_at_high_sparsity(self):
+        assert pruned_sparse_access_pattern(0.9).regularity == pytest.approx(0.1)
+
+    def test_regularity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AccessPattern("bad", 1.5)
+        with pytest.raises(ConfigurationError):
+            pruned_sparse_access_pattern(1.0)
+
+
+class TestCacheModel:
+    def test_regular_stream_has_tiny_miss_rate(self):
+        cache = CacheModel()
+        miss = cache.miss_rate(block_circulant_access_pattern())
+        assert miss < 0.03
+
+    def test_irregular_stream_misses_heavily(self):
+        cache = CacheModel()
+        miss = cache.miss_rate(pruned_sparse_access_pattern(0.9))
+        assert miss > 0.5
+
+    def test_prefetch_advantage_over_pruning(self):
+        # The §4.4 claim: regularity is "another advantage over prior
+        # compression schemes" — order-of-magnitude fewer stalls.
+        cache = CacheModel()
+        circulant = cache.stall_cycles(
+            block_circulant_access_pattern(), accesses=10_000
+        )
+        pruned = cache.stall_cycles(
+            pruned_sparse_access_pattern(0.9), accesses=10_000
+        )
+        assert pruned > 20 * circulant
+
+    def test_average_access_cycles_bounds(self):
+        cache = CacheModel()
+        perfect = AccessPattern("perfect", 1.0)
+        hostile = AccessPattern("hostile", 0.0)
+        assert cache.average_access_cycles(perfect) < 1.2
+        assert cache.average_access_cycles(hostile) == pytest.approx(
+            1.0 + cache.miss_penalty_cycles
+        )
+
+    def test_negative_accesses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheModel().stall_cycles(block_circulant_access_pattern(), -1)
+
+
+class TestAnalyzeHierarchy:
+    def test_single_level_report(self):
+        report = analyze_hierarchy(200e6, FOUR_MB)
+        assert report.levels == 1
+        assert report.miss_rate == 0.0
+        assert report.average_access_cycles == 1.0
+
+    def test_two_level_report_regular(self):
+        report = analyze_hierarchy(800e6, FOUR_MB)
+        assert report.levels == 2
+        assert report.miss_rate < 0.03
+        assert report.average_access_cycles < 1.3
+
+    def test_two_level_report_pruned(self):
+        report = analyze_hierarchy(
+            800e6, FOUR_MB, pattern=pruned_sparse_access_pattern(0.9)
+        )
+        assert report.levels == 2
+        assert report.average_access_cycles > 4.0

@@ -1,0 +1,164 @@
+"""Tests for BlockCirculantMatrix and the projection onto circulant sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circulant import (
+    BlockCirculantMatrix,
+    CirculantMatrix,
+    nearest_block_circulant,
+    nearest_circulant_vector,
+)
+from repro.errors import ShapeError
+
+
+class TestContainer:
+    def test_metadata(self, rng):
+        matrix = BlockCirculantMatrix.random(10, 14, 4, seed=rng)
+        assert matrix.shape == (10, 14)
+        assert matrix.block_size == 4
+        assert matrix.grid == (3, 4)
+        assert matrix.num_parameters == 3 * 4 * 4
+        assert matrix.dense_parameters == 140
+
+    def test_compression_ratio_equals_k_when_divisible(self, rng):
+        matrix = BlockCirculantMatrix.random(16, 32, 8, seed=rng)
+        assert matrix.compression_ratio == pytest.approx(8.0)
+
+    def test_grid_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            BlockCirculantMatrix(rng.normal(size=(2, 2, 4)), m=10, n=14)
+
+    def test_matvec_matches_dense(self, rng):
+        matrix = BlockCirculantMatrix.random(10, 14, 4, seed=rng)
+        x = rng.normal(size=(5, 14))
+        np.testing.assert_allclose(
+            matrix.matvec(x), x @ matrix.to_dense().T, atol=1e-9
+        )
+
+    def test_matvec_single_vector(self, rng):
+        matrix = BlockCirculantMatrix.random(8, 8, 4, seed=rng)
+        x = rng.normal(size=8)
+        out = matrix.matvec(x)
+        assert out.shape == (8,)
+        np.testing.assert_allclose(out, matrix.to_dense() @ x, atol=1e-9)
+
+    def test_rmatvec_is_transpose(self, rng):
+        matrix = BlockCirculantMatrix.random(10, 14, 4, seed=rng)
+        y = rng.normal(size=(3, 10))
+        np.testing.assert_allclose(
+            matrix.rmatvec(y), y @ matrix.to_dense(), atol=1e-9
+        )
+
+    def test_matmul_operator(self, rng):
+        matrix = BlockCirculantMatrix.random(8, 12, 4, seed=rng)
+        x = rng.normal(size=12)
+        np.testing.assert_allclose(matrix @ x, matrix.matvec(x))
+
+    def test_shape_validation_on_products(self, rng):
+        matrix = BlockCirculantMatrix.random(8, 12, 4, seed=rng)
+        with pytest.raises(ShapeError):
+            matrix.matvec(rng.normal(size=(2, 8)))
+        with pytest.raises(ShapeError):
+            matrix.rmatvec(rng.normal(size=(2, 12)))
+
+    def test_random_init_scale(self):
+        # Expanded entries should have variance ~ scale^2 regardless of k.
+        matrix = BlockCirculantMatrix.random(256, 256, 32, scale=0.1, seed=0)
+        std = float(np.std(matrix.weights))
+        assert 0.08 < std < 0.12
+
+
+class TestProjection:
+    def test_projection_of_exact_circulant_is_identity(self, rng):
+        vec = rng.normal(size=8)
+        dense = CirculantMatrix(vec).to_dense()
+        np.testing.assert_allclose(
+            nearest_circulant_vector(dense), vec, atol=1e-12
+        )
+
+    def test_projection_is_least_squares_optimal(self, rng):
+        # No other circulant matrix is closer in Frobenius norm.
+        dense = rng.normal(size=(6, 6))
+        best = nearest_circulant_vector(dense)
+        base_error = np.linalg.norm(CirculantMatrix(best).to_dense() - dense)
+        for _ in range(25):
+            other = best + rng.normal(scale=0.1, size=6)
+            other_error = np.linalg.norm(
+                CirculantMatrix(other).to_dense() - dense
+            )
+            assert base_error <= other_error + 1e-12
+
+    def test_projection_with_partial_validity(self, rng):
+        # Only the valid top-left region constrains the projection.
+        k = 4
+        block = np.zeros((k, k))
+        block[:2, :3] = rng.normal(size=(2, 3))
+        vector = nearest_circulant_vector(block, valid_rows=2, valid_cols=3)
+        i, j = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        diag = (i - j) % k
+        valid = (i < 2) & (j < 3)
+        for d in range(k):
+            entries = block[valid & (diag == d)]
+            expected = entries.mean() if entries.size else 0.0
+            assert vector[d] == pytest.approx(expected)
+
+    def test_block_projection_roundtrip(self, rng):
+        original = BlockCirculantMatrix.random(12, 8, 4, seed=rng)
+        projected = nearest_block_circulant(original.to_dense(), 4)
+        np.testing.assert_allclose(projected, original.weights, atol=1e-10)
+
+    def test_from_dense_reduces_error_vs_random(self, rng):
+        dense = rng.normal(size=(12, 12))
+        projected = BlockCirculantMatrix.from_dense(dense, 4)
+        random = BlockCirculantMatrix.random(12, 12, 4, seed=rng)
+        error_projected = np.linalg.norm(projected.to_dense() - dense)
+        error_random = np.linalg.norm(random.to_dense() - dense)
+        assert error_projected < error_random
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ShapeError):
+            nearest_circulant_vector(rng.normal(size=(3, 4)))
+        with pytest.raises(ShapeError):
+            nearest_circulant_vector(rng.normal(size=(4, 4)), valid_rows=5)
+        with pytest.raises(ShapeError):
+            nearest_block_circulant(rng.normal(size=6), 2)
+
+
+class TestBlockProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(1, 20),
+        n=st.integers(1, 20),
+        k=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_dense_equivalence_with_padding(self, seed, m, n, k):
+        # Holds for every shape, divisible or not (padding correctness).
+        rng = np.random.default_rng(seed)
+        matrix = BlockCirculantMatrix.random(m, n, k, seed=rng)
+        x = rng.normal(size=(2, n))
+        np.testing.assert_allclose(
+            matrix.matvec(x), x @ matrix.to_dense().T, atol=1e-8
+        )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(1, 16),
+        n=st.integers(1, 16),
+        k=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_projection_idempotent(self, seed, m, n, k):
+        # Projecting a projection changes nothing (it is a projection).
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(size=(m, n))
+        once = nearest_block_circulant(dense, k)
+        from repro.circulant.ops import expand_to_dense
+
+        twice = nearest_block_circulant(expand_to_dense(once, m, n), k)
+        np.testing.assert_allclose(once, twice, atol=1e-8)

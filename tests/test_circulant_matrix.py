@@ -1,0 +1,146 @@
+"""Tests for CirculantMatrix: algebra, conventions, FFT products."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circulant import CirculantMatrix
+from repro.errors import ShapeError
+
+
+class TestConstruction:
+    def test_defining_vector_is_first_column(self, rng):
+        vec = rng.normal(size=6)
+        dense = CirculantMatrix(vec).to_dense()
+        np.testing.assert_allclose(dense[:, 0], vec)
+
+    def test_from_first_row(self, rng):
+        row = rng.normal(size=7)
+        dense = CirculantMatrix.from_first_row(row).to_dense()
+        np.testing.assert_allclose(dense[0, :], row)
+
+    def test_first_row_roundtrip(self, rng):
+        matrix = CirculantMatrix(rng.normal(size=9))
+        rebuilt = CirculantMatrix.from_first_row(matrix.first_row)
+        np.testing.assert_allclose(
+            rebuilt.defining_vector, matrix.defining_vector
+        )
+
+    def test_rejects_non_vector(self, rng):
+        with pytest.raises(ShapeError):
+            CirculantMatrix(rng.normal(size=(3, 3)))
+        with pytest.raises(ShapeError):
+            CirculantMatrix(np.array([]))
+
+    def test_dense_structure_is_circulant(self, rng):
+        dense = CirculantMatrix(rng.normal(size=8)).to_dense()
+        for i in range(8):
+            for j in range(8):
+                assert dense[i, j] == dense[(i + 1) % 8, (j + 1) % 8]
+
+    def test_num_parameters(self):
+        assert CirculantMatrix(np.arange(5.0)).num_parameters == 5
+
+
+class TestProducts:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    def test_matvec_matches_dense(self, rng, k):
+        matrix = CirculantMatrix(rng.normal(size=k))
+        x = rng.normal(size=k)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x, atol=1e-9
+        )
+
+    def test_matvec_batched(self, rng):
+        matrix = CirculantMatrix(rng.normal(size=8))
+        x = rng.normal(size=(5, 8))
+        np.testing.assert_allclose(
+            matrix.matvec(x), x @ matrix.to_dense().T, atol=1e-9
+        )
+
+    def test_rmatvec_is_transpose(self, rng):
+        matrix = CirculantMatrix(rng.normal(size=8))
+        y = rng.normal(size=8)
+        np.testing.assert_allclose(
+            matrix.rmatvec(y), matrix.to_dense().T @ y, atol=1e-9
+        )
+
+    def test_matvec_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            CirculantMatrix(rng.normal(size=8)).matvec(rng.normal(size=7))
+
+    def test_radix2_backend(self, rng):
+        matrix = CirculantMatrix(rng.normal(size=16))
+        x = rng.normal(size=16)
+        np.testing.assert_allclose(
+            matrix.matvec(x, backend="radix2"), matrix.matvec(x), atol=1e-9
+        )
+
+    def test_matmul_operator_with_vector(self, rng):
+        matrix = CirculantMatrix(rng.normal(size=4))
+        x = rng.normal(size=4)
+        np.testing.assert_allclose(matrix @ x, matrix.matvec(x))
+
+
+class TestAlgebra:
+    def test_eigenvalues_are_fft_of_column(self, rng):
+        vec = rng.normal(size=8)
+        matrix = CirculantMatrix(vec)
+        eigs = np.sort_complex(np.linalg.eigvals(matrix.to_dense()))
+        np.testing.assert_allclose(
+            eigs, np.sort_complex(matrix.eigenvalues()), atol=1e-8
+        )
+
+    def test_product_of_circulants_is_circulant(self, rng):
+        a = CirculantMatrix(rng.normal(size=8))
+        b = CirculantMatrix(rng.normal(size=8))
+        product = a @ b
+        assert isinstance(product, CirculantMatrix)
+        np.testing.assert_allclose(
+            product.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-8
+        )
+
+    def test_circulants_commute(self, rng):
+        a = CirculantMatrix(rng.normal(size=16))
+        b = CirculantMatrix(rng.normal(size=16))
+        np.testing.assert_allclose(
+            (a @ b).to_dense(), (b @ a).to_dense(), atol=1e-8
+        )
+
+    def test_size_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            CirculantMatrix(rng.normal(size=8)) @ CirculantMatrix(
+                rng.normal(size=4)
+            )
+
+
+class TestCirculantProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        k=st.sampled_from([1, 2, 3, 4, 6, 8, 12, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_equals_dense_any_size(self, seed, k):
+        # The numpy backend handles non-power-of-two sizes too.
+        rng = np.random.default_rng(seed)
+        matrix = CirculantMatrix(rng.normal(size=k))
+        x = rng.normal(size=k)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x, atol=1e-8
+        )
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_of_matvec(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = CirculantMatrix(rng.normal(size=8))
+        x, y = rng.normal(size=(2, 8))
+        a, b = rng.normal(size=2)
+        np.testing.assert_allclose(
+            matrix.matvec(a * x + b * y),
+            a * matrix.matvec(x) + b * matrix.matvec(y),
+            atol=1e-8,
+        )

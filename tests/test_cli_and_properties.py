@@ -1,0 +1,169 @@
+"""Tests for the experiments CLI and cross-cutting property checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.__main__ import main as cli_main
+
+
+class TestCLI:
+    def test_no_args_lists_experiments(self, capsys):
+        assert cli_main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "sec43" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert cli_main(["sec43"]) == 0
+        out = capsys.readouterr().out
+        assert "design optimisation example" in out
+        assert "all paper bands hold" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            cli_main(["fig99"])
+
+
+class TestArchMonotonicityProperties:
+    """Sanity laws the simulator must obey for any configuration."""
+
+    @given(
+        p=st.sampled_from([4, 8, 16, 32, 64]),
+        d=st.sampled_from([1, 2, 3]),
+        log_k=st.integers(min_value=3, max_value=10),
+        count=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fft_cycles_monotone_in_work(self, p, d, log_k, count):
+        from repro.arch import (
+            ArchitectureConfig,
+            BasicComputingBlock,
+            EnergyModel,
+            MemorySubsystem,
+        )
+
+        config = ArchitectureConfig(
+            parallelism=p, depth=d, frequency_hz=2e8, multipliers=64,
+            alus=64, memory_words_per_cycle=64,
+        )
+        block = BasicComputingBlock(
+            config,
+            EnergyModel(1e-12, 1e-13, 1e-14),
+            MemorySubsystem(1 << 20, 1e-13),
+        )
+        k = 2**log_k
+        fewer = block.run_ffts(k, count)
+        more = block.run_ffts(k, count + 1)
+        assert more.cycles > fewer.cycles
+        assert more.total_energy_j > fewer.total_energy_j
+        # Utilisation never exceeds 1 (can't beat the lane count).
+        assert 0.0 < fewer.utilization <= 1.0
+
+    @given(
+        p_small=st.sampled_from([4, 8, 16]),
+        d=st.sampled_from([1, 2, 3]),
+        log_k=st.integers(min_value=5, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_more_parallelism_never_slower(self, p_small, d, log_k):
+        from repro.arch import (
+            ArchitectureConfig,
+            BasicComputingBlock,
+            EnergyModel,
+            MemorySubsystem,
+        )
+
+        def cycles(p: int) -> int:
+            config = ArchitectureConfig(
+                parallelism=p, depth=d, frequency_hz=2e8, multipliers=64,
+                alus=64, memory_words_per_cycle=64,
+            )
+            block = BasicComputingBlock(
+                config,
+                EnergyModel(1e-12, 1e-13, 1e-14),
+                MemorySubsystem(1 << 20, 1e-13),
+            )
+            return block.run_ffts(2**log_k, 10).cycles
+
+        assert cycles(2 * p_small) <= cycles(p_small)
+
+    @given(sparsity=st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_rate_monotone_in_irregularity(self, sparsity):
+        from repro.arch import CacheModel, pruned_sparse_access_pattern
+
+        cache = CacheModel()
+        base = cache.miss_rate(pruned_sparse_access_pattern(0.0))
+        worse = cache.miss_rate(pruned_sparse_access_pattern(sparsity))
+        assert worse >= base - 1e-12
+
+
+class TestStorageProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=4096),
+        n=st.integers(min_value=1, max_value=4096),
+        log_k=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compressed_params_bounds(self, m, n, log_k):
+        """Padding never more than doubles each block-grid dimension, so
+        compressed storage is within 4x of the ideal mn/k (and never
+        exceeds padded-dense)."""
+        from repro.models.descriptors import CompressionPlan, DenseSpec
+
+        k = 2**log_k
+        plan = CompressionPlan(block_sizes={"fc": k})
+        layer = DenseSpec("fc", n, m)
+        params = plan.compressed_params(layer)
+        ideal = max(1, (m * n) // k)
+        assert params >= min(ideal, m * n / k)
+        p, q = -(-m // k), -(-n // k)
+        assert params == p * q * k
+        assert params <= (m + k - 1) * (n + k - 1) // k + k * (p + q)
+
+    @given(
+        params=st.integers(min_value=1, max_value=10**8),
+        sparsity=st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_storage_never_negative_and_index_bound(self, params,
+                                                           sparsity):
+        from repro.compress import pruned_storage
+
+        report = pruned_storage(params, sparsity)
+        assert report.total_bits >= 0
+        assert report.index_bits_total == report.weight_params * 4
+
+
+class TestQuantProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        bits=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_idempotent_property(self, seed, bits):
+        from repro.quant import FixedPointFormat
+
+        rng = np.random.default_rng(seed)
+        fmt = FixedPointFormat(bits, bits - 2)
+        x = rng.normal(size=32)
+        once = fmt.quantize(x)
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_more_bits_never_worse(self, seed):
+        from repro.quant import quantize_tensor
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=128)
+        errors = [
+            float(np.mean((quantize_tensor(x, bits) - x) ** 2))
+            for bits in (4, 8, 12, 16)
+        ]
+        assert all(a >= b - 1e-18 for a, b in zip(errors, errors[1:]))

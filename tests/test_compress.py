@@ -1,0 +1,265 @@
+"""Tests for the compression baselines and storage accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    LowRankDense,
+    MagnitudePruner,
+    SingleCirculantDense,
+    StorageReport,
+    block_circulant_storage,
+    compression_ratio,
+    dense_storage,
+    fc_only_storage_saving,
+    low_rank_factors,
+    low_rank_params,
+    low_rank_reconstruction_error,
+    magnitude_mask,
+    prune_network,
+    pruned_storage,
+    single_circulant_padded_size,
+    single_circulant_storage_waste,
+    whole_model_storage_saving,
+)
+from repro.errors import ConfigurationError
+from repro.models import (
+    CompressionPlan,
+    alexnet_spec,
+    default_alexnet_fc_plan,
+)
+from repro.nn import Dense, ReLU, Sequential
+from tests.conftest import assert_layer_gradients
+
+
+class TestStorageAccounting:
+    def test_dense_storage_bits(self):
+        report = dense_storage(1000, bits=32)
+        assert report.total_bits == 32_000
+        assert report.total_bytes == 4000.0
+
+    def test_pruned_storage_includes_indices(self):
+        report = pruned_storage(1000, sparsity=0.9, weight_bits=16,
+                                index_bits=4)
+        assert report.weight_params == 100
+        assert report.total_bits == 100 * 20
+
+    def test_pruning_effective_ratio_below_parameter_ratio(self):
+        # The paper's §3.4 point: indices shrink pruning's real ratio.
+        dense = dense_storage(10_000, bits=32)
+        pruned = pruned_storage(10_000, sparsity=0.9)
+        ratio = compression_ratio(dense, pruned)
+        assert ratio < 10.0 * (32 / 16)  # below the index-free ideal
+
+    def test_block_circulant_storage(self):
+        spec = alexnet_spec()
+        plan = default_alexnet_fc_plan()
+        report = block_circulant_storage(spec, plan)
+        assert report.weight_bits == 16
+        assert report.weight_params == plan.total_compressed_params(spec)
+
+    def test_alexnet_fits_fpga_after_compression(self):
+        # §4.4: compressed AlexNet is ~4 MB and fits on-chip.
+        report = block_circulant_storage(
+            alexnet_spec(), default_alexnet_fc_plan()
+        )
+        assert report.megabytes < 10.0
+        uncompressed = dense_storage(alexnet_spec().total_dense_params, 32)
+        assert uncompressed.megabytes > 200.0
+
+    def test_fc_saving_band(self):
+        saving = fc_only_storage_saving(
+            alexnet_spec(), default_alexnet_fc_plan()
+        )
+        assert 400.0 <= saving <= 4000.0
+
+    def test_whole_model_band(self):
+        saving = whole_model_storage_saving(
+            alexnet_spec(), default_alexnet_fc_plan()
+        )
+        assert 30.0 <= saving <= 50.0
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ConfigurationError):
+            pruned_storage(100, sparsity=1.0)
+
+    def test_zero_bit_compressed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compression_ratio(
+                dense_storage(10), StorageReport("x", 0, 16)
+            )
+
+
+class TestMagnitudePruning:
+    def test_mask_keeps_largest(self):
+        weights = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        mask = magnitude_mask(weights, sparsity=0.6)
+        np.testing.assert_array_equal(
+            mask, [False, True, False, True, False]
+        )
+
+    def test_mask_exact_count(self, rng):
+        weights = rng.normal(size=(10, 10))
+        mask = magnitude_mask(weights, sparsity=0.37)
+        assert mask.sum() == 100 - 37
+
+    def test_zero_sparsity_keeps_all(self, rng):
+        mask = magnitude_mask(rng.normal(size=20), 0.0)
+        assert mask.all()
+
+    def test_prune_network_zeroes_weights(self, rng):
+        net = Sequential(Dense(10, 8, seed=0), ReLU(), Dense(8, 4, seed=1))
+        prune_network(net, sparsity=0.75)
+        for layer in (net.layers[0], net.layers[2]):
+            zero_fraction = float(np.mean(layer.weight.value == 0.0))
+            assert zero_fraction == pytest.approx(0.75, abs=0.02)
+
+    def test_pruner_masks_survive_updates(self, rng):
+        net = Sequential(Dense(10, 8, seed=0))
+        pruner = MagnitudePruner(net, sparsity=0.5)
+        pruner.prune()
+        # Simulate an optimiser step perturbing everything.
+        net.layers[0].weight.value += rng.normal(size=(8, 10))
+        pruner.apply_masks()
+        report = pruner.report()
+        assert report.sparsity == pytest.approx(0.5, abs=0.02)
+
+    def test_report_and_storage(self):
+        net = Sequential(Dense(20, 20, seed=0))
+        pruner = MagnitudePruner(net, sparsity=0.9)
+        pruner.prune()
+        report = pruner.report()
+        assert report.parameter_reduction == pytest.approx(10.0, rel=0.05)
+        storage = pruner.storage()
+        assert storage.index_bits_total > 0
+
+    def test_pruned_network_still_learns(self, rng):
+        # The prune -> retrain loop the paper calls extra training cost.
+        from repro.nn import Adam, SoftmaxCrossEntropyLoss, Trainer
+
+        centers = rng.normal(scale=2.0, size=(3, 10))
+        labels = rng.integers(0, 3, size=150)
+        data = centers[labels] + rng.normal(scale=0.3, size=(150, 10))
+        net = Sequential(Dense(10, 24, seed=0), ReLU(), Dense(24, 3, seed=1))
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        trainer.fit(data, labels, epochs=10)
+        pruner = MagnitudePruner(net, sparsity=0.6)
+        pruner.prune()
+        loss = SoftmaxCrossEntropyLoss()
+        optimizer = Adam(net.parameters(), lr=0.005)
+        for _ in range(10):
+            logits = net(data)
+            loss.forward(logits, labels)
+            optimizer.zero_grad()
+            net.backward(loss.backward())
+            optimizer.step()
+            pruner.apply_masks()
+        assert trainer.evaluate(data, labels) > 0.9
+        assert pruner.report().sparsity == pytest.approx(0.6, abs=0.02)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ConfigurationError):
+            magnitude_mask(np.ones(4), 1.0)
+
+
+class TestLowRank:
+    def test_factor_shapes_and_params(self, rng):
+        u, v = low_rank_factors(rng.normal(size=(12, 20)), rank=5)
+        assert u.shape == (12, 5)
+        assert v.shape == (5, 20)
+        assert low_rank_params(12, 20, 5) == 5 * 32
+
+    def test_full_rank_is_exact(self, rng):
+        w = rng.normal(size=(8, 10))
+        assert low_rank_reconstruction_error(w, 8) < 1e-10
+
+    def test_error_decreases_with_rank(self, rng):
+        w = rng.normal(size=(16, 16))
+        errors = [low_rank_reconstruction_error(w, r) for r in (2, 4, 8, 16)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_eckart_young_optimality(self, rng):
+        # SVD truncation error equals the tail singular values.
+        w = rng.normal(size=(10, 10))
+        u, v = low_rank_factors(w, 3)
+        singular = np.linalg.svd(w, compute_uv=False)
+        expected = np.sqrt(np.sum(singular[3:] ** 2))
+        assert np.linalg.norm(w - u @ v) == pytest.approx(expected, rel=1e-9)
+
+    def test_low_rank_layer_gradients(self, rng):
+        layer = LowRankDense(8, 6, rank=3, seed=0)
+        assert_layer_gradients(layer, rng.normal(size=(3, 8)), rng)
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ConfigurationError):
+            low_rank_factors(rng.normal(size=(4, 4)), 5)
+        with pytest.raises(ConfigurationError):
+            LowRankDense(4, 4, rank=0)
+
+
+class TestSingleCirculantBaseline:
+    def test_padded_size_is_max(self):
+        assert single_circulant_padded_size(9216, 4096) == 9216
+
+    def test_storage_waste_formula(self):
+        # Fig 4a: padding wastes (1 - min/max) of the computation.
+        assert single_circulant_storage_waste(100, 100) == 0.0
+        assert single_circulant_storage_waste(9216, 4096) == pytest.approx(
+            1.0 - 4096 / 9216
+        )
+
+    def test_forward_matches_padded_circulant(self, rng):
+        from repro.circulant import CirculantMatrix
+
+        layer = SingleCirculantDense(6, 4, bias=False, seed=0)
+        x = rng.normal(size=(3, 6))
+        dense = CirculantMatrix(layer.weight.value).to_dense()
+        padded = np.zeros((3, 6))
+        padded[:, :6] = x
+        expected = (padded @ dense.T)[:, :4]
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-9)
+
+    def test_gradients(self, rng):
+        layer = SingleCirculantDense(6, 4, seed=1)
+        assert_layer_gradients(layer, rng.normal(size=(2, 6)), rng)
+
+    def test_block_circulant_avoids_padding_waste(self):
+        # The paper's Fig 4 point: on a rectangular FC layer, [54]'s
+        # padded square wastes 55% of its computation, while a
+        # block-circulant grid with k dividing both dims has zero padding.
+        from repro.circulant.ops import block_dims
+
+        m, n, k = 4096, 9216, 1024
+        waste = single_circulant_storage_waste(n, m)
+        assert waste == pytest.approx(1.0 - m / n)
+        p, q = block_dims(m, n, k)
+        assert p * k == m and q * k == n  # no padded rows or columns
+
+    def test_block_size_is_an_accuracy_compression_knob(self):
+        # §2.4: block-circulant offers a *range* of storage points; the
+        # single-circulant baseline has exactly one.
+        from repro.models.descriptors import CompressionPlan, DenseSpec
+
+        layer = DenseSpec("fc", 9216, 4096)
+        sizes = [
+            CompressionPlan(block_sizes={"fc": k}).compressed_params(layer)
+            for k in (64, 256, 1024)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == 3
+
+    def test_trains_on_toy_problem(self, rng):
+        from repro.nn import Adam, Sequential, Trainer, ReLU, Dense
+
+        centers = rng.normal(scale=2.0, size=(3, 12))
+        labels = rng.integers(0, 3, size=120)
+        data = centers[labels] + rng.normal(scale=0.3, size=(120, 12))
+        net = Sequential(
+            SingleCirculantDense(12, 16, seed=0), ReLU(),
+            Dense(16, 3, seed=1),
+        )
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        trainer.fit(data, labels, epochs=15)
+        assert trainer.evaluate(data, labels) > 0.9

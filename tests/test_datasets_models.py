@@ -1,0 +1,211 @@
+"""Tests for synthetic datasets, model specs and builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cifar10_like,
+    dataset_spec,
+    imagenet_spec,
+    make_classification_images,
+    mnist_like,
+    svhn_like,
+)
+from repro.errors import ConfigurationError
+from repro.models import (
+    CompressionPlan,
+    alexnet_mini_spec,
+    alexnet_spec,
+    build_alexnet_mini,
+    build_lenet5,
+    build_mlp,
+    cifar10_convnet_spec,
+    default_alexnet_fc_plan,
+    default_fig14_plans,
+    default_lenet5_plan,
+    lenet5_caffe_spec,
+    lenet5_spec,
+    mnist_mlp_spec,
+    svhn_convnet_spec,
+)
+from repro.models.descriptors import ConvSpec, DenseSpec, PoolSpec
+from repro.nn import BlockCirculantConv2D, BlockCirculantDense, Sequential
+
+
+class TestDatasets:
+    def test_shapes(self):
+        ds = mnist_like(32, 16, seed=0)
+        assert ds.x_train.shape == (32, 1, 28, 28)
+        assert ds.x_test.shape == (16, 1, 28, 28)
+        assert ds.y_train.shape == (32,)
+        assert set(np.unique(ds.y_train)) <= set(range(10))
+
+    def test_reproducible(self):
+        a = cifar10_like(16, 8, seed=7)
+        b = cifar10_like(16, 8, seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = svhn_like(16, 8, seed=1)
+        b = svhn_like(16, 8, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_flattened_view(self):
+        ds = mnist_like(8, 4, seed=0).flattened()
+        assert ds.x_train.shape == (8, 784)
+
+    def test_classes_are_separable_at_low_noise(self):
+        ds = make_classification_images(
+            dataset_spec("mnist"), 64, 32, noise=0.1, seed=0
+        )
+        # Nearest-class-mean classification should be near perfect.
+        flat = ds.x_train.reshape(64, -1)
+        means = np.stack([
+            flat[ds.y_train == c].mean(axis=0) for c in range(10)
+            if np.any(ds.y_train == c)
+        ])
+        present = [c for c in range(10) if np.any(ds.y_train == c)]
+        test_flat = ds.x_test.reshape(32, -1)
+        distances = ((test_flat[:, None] - means[None]) ** 2).sum(axis=2)
+        predicted = np.array(present)[np.argmin(distances, axis=1)]
+        assert float(np.mean(predicted == ds.y_test)) > 0.9
+
+    def test_spec_lookup(self):
+        assert dataset_spec("imagenet").num_classes == 1000
+        assert imagenet_spec().image_shape == (3, 224, 224)
+        with pytest.raises(ConfigurationError):
+            dataset_spec("fashion")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            make_classification_images(dataset_spec("mnist"), 0, 4)
+
+
+class TestLayerSpecs:
+    def test_conv_spec_geometry(self):
+        conv = ConvSpec("c", 3, 96, 11, in_hw=(227, 227), stride=4)
+        assert conv.out_hw == (55, 55)
+        assert conv.positions == 3025
+        assert conv.dense_params == 96 * 3 * 121
+        assert conv.macs == 3025 * conv.dense_params
+
+    def test_dense_spec(self):
+        fc = DenseSpec("f", 9216, 4096)
+        assert fc.dense_params == fc.macs == 9216 * 4096
+
+    def test_pool_spec(self):
+        pool = PoolSpec("p", 96, 3, in_hw=(55, 55), stride=2)
+        assert pool.out_hw == (27, 27)
+        assert pool.dense_params == 0
+        assert pool.comparisons == 96 * 27 * 27 * 8
+
+    def test_model_lookup(self):
+        spec = alexnet_spec()
+        assert spec.layer("fc6").in_features == 9216
+        with pytest.raises(ConfigurationError):
+            spec.layer("fc99")
+
+
+class TestPaperShapeFacts:
+    """The shape arithmetic the paper's storage claims rest on."""
+
+    def test_alexnet_parameter_split(self):
+        spec = alexnet_spec()
+        assert spec.total_dense_params == pytest.approx(62.4e6, rel=0.01)
+        assert spec.fc_dense_params == 58_621_952
+        # FC layers hold ~94% of the weights (the §2.1 premise).
+        assert spec.fc_dense_params / spec.total_dense_params > 0.9
+
+    def test_alexnet_macs_are_conv_dominated(self):
+        spec = alexnet_spec()
+        conv_macs = sum(l.macs for l in spec.conv_layers)
+        assert conv_macs / spec.total_macs > 0.9
+
+    def test_lenet5_fc_dominates_storage(self):
+        spec = lenet5_spec()
+        assert spec.fc_dense_params / spec.total_dense_params > 0.9
+
+    def test_lenet5_caffe_is_the_compression_benchmark(self):
+        spec = lenet5_caffe_spec()
+        assert spec.layer("fc1").dense_params == 400_000
+        assert spec.total_dense_params == 430_500
+
+
+class TestCompressionPlan:
+    def test_divisible_fc_compression(self):
+        plan = CompressionPlan(block_sizes={"fc": 64})
+        layer = DenseSpec("fc", 1024, 512)
+        assert plan.compressed_params(layer) == 1024 * 512 // 64
+
+    def test_padded_fc_compression(self):
+        plan = CompressionPlan(block_sizes={"fc": 512})
+        layer = DenseSpec("fc", 4096, 1000)  # 1000 pads to 2 block rows
+        assert plan.compressed_params(layer) == 2 * 8 * 512
+
+    def test_conv_compression(self):
+        plan = CompressionPlan(block_sizes={"conv": 16})
+        layer = ConvSpec("conv", 64, 128, 3, in_hw=(14, 14))
+        assert plan.compressed_params(layer) == 9 * 8 * 4 * 16
+
+    def test_unlisted_layer_uncompressed(self):
+        plan = CompressionPlan(block_sizes={})
+        layer = DenseSpec("fc", 100, 50)
+        assert plan.compressed_params(layer) == 5000
+
+    def test_invalid_block_size(self):
+        plan = CompressionPlan(block_sizes={"fc": 0})
+        with pytest.raises(ConfigurationError):
+            plan.block_size(DenseSpec("fc", 8, 8))
+
+
+class TestBuilders:
+    def test_lenet_dense_parameter_count(self):
+        net = build_lenet5(None, seed=0)
+        spec = lenet5_spec()
+        biases = 6 + 16 + 120 + 84 + 10
+        assert net.num_parameters() == spec.total_dense_params + biases
+
+    def test_lenet_compressed_is_smaller(self):
+        dense = build_lenet5(None, seed=0)
+        compressed = build_lenet5(default_lenet5_plan(), seed=0)
+        assert compressed.num_parameters() < dense.num_parameters() / 5
+
+    def test_lenet_forward_shapes(self, rng):
+        for plan in (None, default_lenet5_plan()):
+            net = build_lenet5(plan, seed=0)
+            out = net(rng.normal(size=(2, 1, 28, 28)))
+            assert out.shape == (2, 10)
+
+    def test_alexnet_mini_builder(self, rng):
+        plan = CompressionPlan(block_sizes={"conv2": 4, "fc1": 64, "fc2": 8})
+        net = build_alexnet_mini(plan, seed=0)
+        out = net(rng.normal(size=(2, 3, 32, 32)))
+        assert out.shape == (2, 10)
+        kinds = [type(l).__name__ for l in net.layers]
+        assert "BlockCirculantConv2D" in kinds
+        assert "BlockCirculantDense" in kinds
+
+    def test_alexnet_mini_spec_matches_builder(self):
+        spec = alexnet_mini_spec()
+        net = build_alexnet_mini(None, seed=0)
+        weights = sum(
+            p.size for layer in net.layers
+            for name, p in layer.named_parameters() if name == "weight"
+        )
+        assert weights == spec.total_dense_params
+
+    def test_mlp_builder_block_sizes(self):
+        net = build_mlp(64, [32, 32], 10, block_size=8, seed=0)
+        assert isinstance(net.layers[0], BlockCirculantDense)
+        dense_net = build_mlp(64, [32], 10, seed=0)
+        assert type(dense_net.layers[0]).__name__ == "Dense"
+
+    def test_fig14_plans_cover_their_models(self):
+        plans = default_fig14_plans()
+        for spec in (mnist_mlp_spec(), cifar10_convnet_spec(),
+                     svhn_convnet_spec()):
+            plan = plans[spec.name]
+            assert plan.total_compressed_params(spec) < spec.total_dense_params

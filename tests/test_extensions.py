@@ -1,0 +1,187 @@
+"""Tests for the extension features: Toeplitz/LDR matrices and
+multi-engine scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import fpga_cyclone_v, map_model
+from repro.arch.scaling import ScaledDeployment, engines_needed_for_throughput
+from repro.circulant.toeplitz import ToeplitzMatrix
+from repro.errors import ConfigurationError, ShapeError
+from repro.models import default_lenet5_plan, lenet5_spec
+
+
+class TestToeplitzStructure:
+    def test_dense_structure(self, rng):
+        matrix = ToeplitzMatrix.random(6, seed=0)
+        dense = matrix.to_dense()
+        # Constant diagonals.
+        for d in range(-5, 6):
+            diag = np.diagonal(dense, d)
+            assert np.all(diag == diag[0])
+
+    def test_column_and_row_views(self, rng):
+        matrix = ToeplitzMatrix.random(5, seed=1)
+        dense = matrix.to_dense()
+        np.testing.assert_allclose(dense[:, 0], matrix.first_column)
+        np.testing.assert_allclose(dense[0, :], matrix.first_row)
+
+    def test_parameter_count_is_linear(self):
+        assert ToeplitzMatrix.random(64, seed=0).num_parameters == 127
+
+    def test_corner_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            ToeplitzMatrix(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+
+    def test_projection_of_exact_toeplitz_is_identity(self, rng):
+        original = ToeplitzMatrix.random(8, seed=2)
+        rebuilt = ToeplitzMatrix.from_dense(original.to_dense())
+        np.testing.assert_allclose(
+            rebuilt.first_column, original.first_column, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            rebuilt.first_row, original.first_row, atol=1e-12
+        )
+
+    def test_projection_averages_diagonals(self, rng):
+        dense = rng.normal(size=(4, 4))
+        projected = ToeplitzMatrix.from_dense(dense)
+        assert projected.first_column[1] == pytest.approx(
+            np.mean(np.diagonal(dense, -1))
+        )
+
+
+class TestToeplitzProducts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 16])
+    def test_matvec_matches_dense(self, rng, k):
+        matrix = ToeplitzMatrix.random(k, seed=3)
+        x = rng.normal(size=k)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x, atol=1e-9
+        )
+
+    def test_matvec_batched(self, rng):
+        matrix = ToeplitzMatrix.random(7, seed=4)
+        x = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(
+            matrix.matvec(x), x @ matrix.to_dense().T, atol=1e-9
+        )
+
+    def test_rmatvec_is_transpose(self, rng):
+        matrix = ToeplitzMatrix.random(6, seed=5)
+        y = rng.normal(size=6)
+        np.testing.assert_allclose(
+            matrix.rmatvec(y), matrix.to_dense().T @ y, atol=1e-9
+        )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            ToeplitzMatrix.random(6, seed=0).matvec(rng.normal(size=5))
+
+    @given(seed=st.integers(0, 2**31 - 1), k=st.integers(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        matrix = ToeplitzMatrix.random(k, seed=int(seed % 9973))
+        x = rng.normal(size=k)
+        np.testing.assert_allclose(
+            matrix.matvec(x), matrix.to_dense() @ x, atol=1e-8
+        )
+
+    def test_circulant_is_a_toeplitz_special_case(self, rng):
+        from repro.circulant import CirculantMatrix
+
+        circulant = CirculantMatrix(rng.normal(size=8))
+        as_toeplitz = ToeplitzMatrix.from_dense(circulant.to_dense())
+        x = rng.normal(size=8)
+        np.testing.assert_allclose(
+            as_toeplitz.matvec(x), circulant.matvec(x), atol=1e-9
+        )
+
+
+class TestMultiEngineScaling:
+    @pytest.fixture(scope="class")
+    def base_report(self):
+        return map_model(
+            lenet5_spec(), default_lenet5_plan(), fpga_cyclone_v()
+        )
+
+    def test_throughput_scales_linearly(self, base_report):
+        scaled = ScaledDeployment(base_report, num_engines=4)
+        assert scaled.throughput_fps == pytest.approx(
+            4 * base_report.throughput_fps
+        )
+
+    def test_efficiency_invariant_without_overhead(self, base_report):
+        # The §5.1 claim: replication costs no energy efficiency.
+        for n in (1, 2, 8):
+            scaled = ScaledDeployment(base_report, num_engines=n)
+            assert scaled.gops_per_watt == pytest.approx(
+                base_report.gops_per_watt
+            )
+
+    def test_shared_overhead_degrades_efficiency(self, base_report):
+        clean = ScaledDeployment(base_report, 4)
+        loaded = ScaledDeployment(base_report, 4, shared_overhead_w=1.0)
+        assert loaded.gops_per_watt < clean.gops_per_watt
+
+    def test_latency_unchanged(self, base_report):
+        scaled = ScaledDeployment(base_report, num_engines=16)
+        assert scaled.latency_s == base_report.latency_s
+
+    def test_engines_needed(self, base_report):
+        one = engines_needed_for_throughput(
+            base_report, base_report.throughput_fps * 0.5
+        )
+        assert one == 1
+        several = engines_needed_for_throughput(
+            base_report, base_report.throughput_fps * 3.5
+        )
+        assert several == 4
+
+    def test_invalid_configs(self, base_report):
+        with pytest.raises(ConfigurationError):
+            ScaledDeployment(base_report, 0)
+        with pytest.raises(ConfigurationError):
+            engines_needed_for_throughput(base_report, 0.0)
+
+
+class TestPaperValueConsistency:
+    """Internal consistency of the recorded paper claims."""
+
+    def test_6x_times_17x_is_102x(self):
+        from repro.experiments import paper_values as pv
+
+        assert pv.FIG15_BASE_IMPROVEMENT_MIN * pv.FIG15_NEAR_THRESHOLD_FACTOR \
+            == pytest.approx(pv.FIG15_TOTAL_IMPROVEMENT)
+
+    def test_tx1_ratios_consistent_with_nt_factor(self):
+        from repro.experiments import paper_values as pv
+
+        assert pv.FIG15_VS_TX1_NT / pv.FIG15_VS_TX1_BASE == pytest.approx(
+            pv.FIG15_NEAR_THRESHOLD_FACTOR, rel=0.01
+        )
+
+    def test_headline_band_matches_fig15(self):
+        from repro.experiments import paper_values as pv
+
+        low, high = pv.HEADLINE_IMPROVEMENT_BAND
+        assert low == pv.FIG15_BASE_IMPROVEMENT_MIN
+        assert high == pv.FIG15_TOTAL_IMPROVEMENT
+
+    def test_truenorth_tables_cover_fig14_datasets(self):
+        from repro.experiments import paper_values as pv
+
+        assert set(pv.TRUENORTH_RESULTS) == set(pv.CIRCNN_FPGA_RESULTS) == {
+            "mnist", "cifar10", "svhn",
+        }
+
+    def test_sec53_rates_ordering(self):
+        from repro.experiments import paper_values as pv
+
+        # The paper's own numbers: ARM beats GPU on the large FC layer.
+        assert pv.SEC53_ARM_FC_LAYERS_PER_S > pv.SEC53_GPU_FC_LAYERS_PER_S

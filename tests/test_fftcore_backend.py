@@ -1,0 +1,79 @@
+"""Tests for the pluggable FFT backend registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.fftcore import (
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_backends()) == {"numpy", "radix2"}
+
+    def test_lookup_by_name(self):
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend("radix2").name == "radix2"
+
+    def test_unknown_backend(self):
+        with pytest.raises(BackendError):
+            get_backend("fftw")
+
+    def test_backend_object_passthrough(self):
+        backend = get_backend("radix2")
+        assert get_backend(backend) is backend
+
+    def test_default_backend_switch(self):
+        try:
+            set_default_backend("radix2")
+            assert get_backend(None).name == "radix2"
+        finally:
+            set_default_backend("numpy")
+        assert get_backend(None).name == "numpy"
+
+    def test_set_unknown_default(self):
+        with pytest.raises(BackendError):
+            set_default_backend("cufft")
+
+
+class TestBackendAgreement:
+    """The two backends must be numerically interchangeable."""
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_fft_agreement(self, rng, n):
+        x = rng.normal(size=(3, n)) + 1j * rng.normal(size=(3, n))
+        np.testing.assert_allclose(
+            get_backend("radix2").fft(x), get_backend("numpy").fft(x),
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_ifft_agreement(self, rng, n):
+        x = rng.normal(size=(3, n)) + 1j * rng.normal(size=(3, n))
+        np.testing.assert_allclose(
+            get_backend("radix2").ifft(x), get_backend("numpy").ifft(x),
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_rfft_agreement(self, rng, n):
+        x = rng.normal(size=(4, n))
+        np.testing.assert_allclose(
+            get_backend("radix2").rfft(x), get_backend("numpy").rfft(x),
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_irfft_agreement(self, rng, n):
+        spectrum = np.fft.rfft(rng.normal(size=(4, n)), axis=-1)
+        np.testing.assert_allclose(
+            get_backend("radix2").irfft(spectrum, n),
+            get_backend("numpy").irfft(spectrum, n),
+            atol=1e-9,
+        )

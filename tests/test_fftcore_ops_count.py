@@ -1,0 +1,76 @@
+"""Tests for FFT operation counters (inputs to the architecture model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotPowerOfTwoError
+from repro.fftcore import (
+    complex_fft_butterflies,
+    complex_fft_ops,
+    real_fft_butterflies,
+    real_fft_ops,
+)
+from repro.fftcore.ops_count import (
+    BUTTERFLY_REAL_OPS,
+    elementwise_complex_mult_ops,
+)
+
+
+class TestButterflyCounts:
+    def test_complex_formula(self):
+        # (n/2) log2(n).
+        assert complex_fft_butterflies(2) == 1
+        assert complex_fft_butterflies(8) == 12
+        assert complex_fft_butterflies(1024) == 5120
+
+    def test_real_is_half_of_complex(self):
+        # The Fig 10 symmetry saving is exactly 2x.
+        for n in (4, 16, 128, 4096):
+            assert real_fft_butterflies(n) * 2 == complex_fft_butterflies(n)
+
+    def test_trivial_sizes(self):
+        assert complex_fft_butterflies(1) == 0
+        assert real_fft_butterflies(1) == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NotPowerOfTwoError):
+            complex_fft_butterflies(12)
+        with pytest.raises(NotPowerOfTwoError):
+            real_fft_butterflies(10)
+
+    def test_asymptotic_growth_is_n_log_n(self):
+        # Doubling n slightly more than doubles the work — n log n, not n^2.
+        for n in (64, 256, 1024):
+            ratio = complex_fft_butterflies(2 * n) / complex_fft_butterflies(n)
+            assert 2.0 < ratio < 2.5
+
+
+class TestOpBudgets:
+    def test_real_ops_consistent_with_butterflies(self):
+        for n in (8, 64, 512):
+            count = complex_fft_ops(n)
+            assert count.total_real_ops == count.butterflies * BUTTERFLY_REAL_OPS
+            assert count.real_mults == count.butterflies * 4
+            assert count.real_adds == count.butterflies * 6
+
+    def test_real_fft_memory_traffic_halved(self):
+        # Packed representation moves n/2 complex = n real words per level.
+        full = complex_fft_ops(64)
+        real = real_fft_ops(64)
+        assert real.words_read * 2 == full.words_read
+        assert real.words_written * 2 == full.words_written
+
+    def test_total_words(self):
+        count = complex_fft_ops(16)
+        assert count.total_words == count.words_read + count.words_written
+
+    def test_elementwise_complex_mult(self):
+        mults, adds = elementwise_complex_mult_ops(10)
+        assert mults == 40
+        assert adds == 20
+        assert elementwise_complex_mult_ops(0) == (0, 0)
+
+    def test_elementwise_rejects_negative(self):
+        with pytest.raises(ValueError):
+            elementwise_complex_mult_ops(-1)

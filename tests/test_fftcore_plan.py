@@ -1,0 +1,96 @@
+"""Tests for FFT plans: the recursive property of paper Fig 9."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotPowerOfTwoError
+from repro.fftcore import FFTPlan, fft_radix2
+
+
+class TestRecursiveProperty:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64, 256])
+    def test_recursive_equals_iterative(self, rng, n):
+        # Fig 9: a size-n FFT really is two size-n/2 FFTs plus butterflies.
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        plan = FFTPlan(n)
+        np.testing.assert_allclose(
+            plan.execute_recursive(x), fft_radix2(x), atol=1e-8
+        )
+
+    def test_recursive_batched(self, rng):
+        x = rng.normal(size=(3, 32))
+        plan = FFTPlan(32)
+        np.testing.assert_allclose(
+            plan.execute_recursive(x), np.fft.fft(x, axis=-1), atol=1e-8
+        )
+
+    def test_execute_is_production_kernel(self, rng):
+        x = rng.normal(size=64)
+        np.testing.assert_allclose(
+            FFTPlan(64).execute(x), np.fft.fft(x), atol=1e-9
+        )
+
+    def test_wrong_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FFTPlan(16).execute_recursive(rng.normal(size=8))
+
+
+class TestStageDescription:
+    def test_stage_count(self):
+        assert FFTPlan(1).num_levels == 0
+        assert FFTPlan(2).num_levels == 1
+        assert FFTPlan(1024).num_levels == 10
+
+    def test_stages_structure(self):
+        stages = FFTPlan(16).stages()
+        assert [s.level for s in stages] == [1, 2, 3, 4]
+        assert [s.span for s in stages] == [2, 4, 8, 16]
+        assert all(s.butterflies == 8 for s in stages)
+        assert [s.distinct_twiddles for s in stages] == [1, 2, 4, 8]
+
+    def test_total_butterflies(self):
+        # (n/2) log2(n), the complexity the paper quotes.
+        assert FFTPlan(8).total_butterflies == 12
+        assert FFTPlan(1024).total_butterflies == 512 * 10
+
+
+class TestDecomposition:
+    def test_identity_decomposition(self):
+        decomp = FFTPlan(64).decompose_onto(64)
+        assert decomp.base_fft_passes == 1
+        assert decomp.extra_levels == 0
+        assert decomp.extra_butterflies == 0
+
+    def test_half_size_block(self):
+        # §4.1: one extra butterfly level combines two half-size FFTs.
+        decomp = FFTPlan(64).decompose_onto(32)
+        assert decomp.base_fft_passes == 2
+        assert decomp.extra_levels == 1
+        assert decomp.extra_butterflies == 32
+
+    def test_small_block(self):
+        decomp = FFTPlan(1024).decompose_onto(64)
+        assert decomp.base_fft_passes == 16
+        assert decomp.extra_levels == 4
+        assert decomp.extra_butterflies == 4 * 512
+
+    def test_butterfly_conservation(self):
+        # Decomposed execution does exactly the same butterflies as a flat
+        # execution: passes * butterflies(base) + extra = butterflies(n).
+        plan = FFTPlan(512)
+        for base in (2, 8, 64, 512):
+            decomp = plan.decompose_onto(base)
+            base_cost = decomp.base_fft_passes * FFTPlan(base).total_butterflies
+            assert base_cost + decomp.extra_butterflies == plan.total_butterflies
+
+    def test_block_larger_than_transform_rejected(self):
+        with pytest.raises(ValueError):
+            FFTPlan(32).decompose_onto(64)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(NotPowerOfTwoError):
+            FFTPlan(48)
+        with pytest.raises(NotPowerOfTwoError):
+            FFTPlan(64).decompose_onto(3)

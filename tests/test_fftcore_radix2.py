@@ -1,0 +1,155 @@
+"""Unit and property tests for the from-scratch radix-2 FFT kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotPowerOfTwoError
+from repro.fftcore import dft_direct, fft_radix2, idft_direct, ifft_radix2
+from repro.fftcore.radix2 import bit_reverse_indices
+
+
+class TestBitReversal:
+    def test_size_8(self):
+        expected = [0, 4, 2, 6, 1, 5, 3, 7]
+        assert bit_reverse_indices(8).tolist() == expected
+
+    def test_size_2(self):
+        assert bit_reverse_indices(2).tolist() == [0, 1]
+
+    def test_is_a_permutation(self):
+        for n in (1, 2, 4, 16, 64, 256):
+            indices = bit_reverse_indices(n)
+            assert sorted(indices.tolist()) == list(range(n))
+
+    def test_is_an_involution(self):
+        # Reversing the bits twice restores the identity.
+        for n in (4, 32, 128):
+            rev = bit_reverse_indices(n)
+            assert np.array_equal(rev[rev], np.arange(n))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NotPowerOfTwoError):
+            bit_reverse_indices(12)
+
+
+class TestForwardFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 128, 1024])
+    def test_matches_numpy(self, rng, n):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(fft_radix2(x), np.fft.fft(x), atol=1e-9)
+
+    def test_matches_direct_dft(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        np.testing.assert_allclose(fft_radix2(x), dft_direct(x), atol=1e-8)
+
+    def test_batched_matches_per_row(self, rng):
+        x = rng.normal(size=(5, 3, 16)) + 1j * rng.normal(size=(5, 3, 16))
+        batched = fft_radix2(x)
+        for i in range(5):
+            for j in range(3):
+                np.testing.assert_allclose(
+                    batched[i, j], fft_radix2(x[i, j]), atol=1e-10
+                )
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft_radix2(x), np.ones(16), atol=1e-12)
+
+    def test_constant_gives_dc_only(self):
+        x = np.ones(32)
+        spectrum = fft_radix2(x)
+        assert spectrum[0] == pytest.approx(32.0)
+        np.testing.assert_allclose(spectrum[1:], 0.0, atol=1e-10)
+
+    def test_rejects_non_power_of_two(self, rng):
+        with pytest.raises(NotPowerOfTwoError):
+            fft_radix2(rng.normal(size=12))
+
+    def test_does_not_mutate_input(self, rng):
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        copy = x.copy()
+        fft_radix2(x)
+        np.testing.assert_array_equal(x, copy)
+
+
+class TestInverseFFT:
+    @pytest.mark.parametrize("n", [2, 8, 64, 512])
+    def test_roundtrip(self, rng, n):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(ifft_radix2(fft_radix2(x)), x, atol=1e-9)
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=(3, 32)) + 1j * rng.normal(size=(3, 32))
+        np.testing.assert_allclose(
+            ifft_radix2(x), np.fft.ifft(x, axis=-1), atol=1e-10
+        )
+
+    def test_matches_direct_idft(self, rng):
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        np.testing.assert_allclose(ifft_radix2(x), idft_direct(x), atol=1e-10)
+
+
+class TestFFTProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, seed, log_n):
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)
+        a, b = rng.normal(size=2)
+        combined = fft_radix2(a * x + b * y)
+        separate = a * fft_radix2(x) + b * fft_radix2(y)
+        np.testing.assert_allclose(combined, separate, atol=1e-8)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parseval(self, seed, log_n):
+        # Energy is preserved up to the 1/n convention.
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        x = rng.normal(size=n)
+        time_energy = float(np.sum(np.abs(x) ** 2))
+        freq_energy = float(np.sum(np.abs(fft_radix2(x)) ** 2)) / n
+        assert freq_energy == pytest.approx(time_energy, rel=1e-9)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=7),
+        shift=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_theorem(self, seed, log_n, shift):
+        # A circular shift multiplies the spectrum by a phase ramp.
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        x = rng.normal(size=n)
+        shifted_spectrum = fft_radix2(np.roll(x, shift))
+        phase = np.exp(-2j * np.pi * shift * np.arange(n) / n)
+        np.testing.assert_allclose(
+            shifted_spectrum, fft_radix2(x) * phase, atol=1e-8
+        )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_real_input_hermitian_symmetry(self, seed, log_n):
+        # The property the paper's Fig 10 exploits to skip half the work.
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        spectrum = fft_radix2(rng.normal(size=n))
+        mirrored = np.conj(spectrum[(-np.arange(n)) % n])
+        np.testing.assert_allclose(spectrum, mirrored, atol=1e-8)

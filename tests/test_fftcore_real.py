@@ -1,0 +1,92 @@
+"""Tests for the real-input FFT (the paper's Hermitian-symmetry saving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.fftcore import irfft_real, rfft_real
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 512])
+    def test_matches_numpy_rfft(self, rng, n):
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(rfft_real(x), np.fft.rfft(x), atol=1e-9)
+
+    def test_batched(self, rng):
+        x = rng.normal(size=(4, 7, 32))
+        np.testing.assert_allclose(
+            rfft_real(x), np.fft.rfft(x, axis=-1), atol=1e-9
+        )
+
+    def test_output_width_is_half_spectrum(self, rng):
+        # n//2 + 1 bins: the storage saving of the symmetric spectrum.
+        for n in (2, 8, 128):
+            assert rfft_real(rng.normal(size=n)).shape[-1] == n // 2 + 1
+
+    def test_dc_and_nyquist_bins_are_real(self, rng):
+        spectrum = rfft_real(rng.normal(size=64))
+        assert spectrum[0].imag == pytest.approx(0.0, abs=1e-10)
+        assert spectrum[-1].imag == pytest.approx(0.0, abs=1e-10)
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [2, 4, 16, 256])
+    def test_roundtrip(self, rng, n):
+        x = rng.normal(size=(3, n))
+        np.testing.assert_allclose(irfft_real(rfft_real(x), n), x, atol=1e-9)
+
+    def test_matches_numpy_irfft(self, rng):
+        spectrum = np.fft.rfft(rng.normal(size=(2, 64)), axis=-1)
+        np.testing.assert_allclose(
+            irfft_real(spectrum, 64),
+            np.fft.irfft(spectrum, n=64, axis=-1),
+            atol=1e-9,
+        )
+
+    def test_default_length_inference(self, rng):
+        x = rng.normal(size=128)
+        np.testing.assert_allclose(irfft_real(rfft_real(x)), x, atol=1e-9)
+
+    def test_output_is_real_dtype(self, rng):
+        out = irfft_real(rfft_real(rng.normal(size=32)), 32)
+        assert out.dtype == np.float64
+
+    def test_rejects_wrong_bin_count(self, rng):
+        with pytest.raises(ShapeError):
+            irfft_real(rng.normal(size=10).astype(complex), 64)
+
+
+class TestRealFFTProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, log_n):
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        x = rng.normal(size=n)
+        np.testing.assert_allclose(irfft_real(rfft_real(x), n), x, atol=1e-8)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        log_n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_circular_convolution_theorem(self, seed, log_n):
+        # The identity the whole paper rests on: circular convolution in
+        # time equals element-wise multiplication in frequency.
+        rng = np.random.default_rng(seed)
+        n = 2**log_n
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        via_fft = irfft_real(rfft_real(a) * rfft_real(b), n)
+        direct = np.array(
+            [sum(a[m] * b[(t - m) % n] for m in range(n)) for t in range(n)]
+        )
+        np.testing.assert_allclose(via_fft, direct, atol=1e-7)

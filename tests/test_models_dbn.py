@@ -1,0 +1,131 @@
+"""Tests for the RBM / DBN substrate (§3.4 training workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circulant.ops import expand_to_dense
+from repro.errors import ConfigurationError, ShapeError
+from repro.models import DBN, RBM
+
+
+def _binary_data(rng, n=48, dims=32):
+    return (rng.random((n, dims)) < 0.3).astype(float)
+
+
+class TestRBMStructure:
+    def test_dense_weight_shape(self):
+        rbm = RBM(32, 16, block_size=None, seed=0)
+        assert rbm.weight.shape == (16, 32)
+        assert not rbm.is_circulant
+        assert rbm.num_weight_parameters == 512
+
+    def test_circulant_weight_shape(self):
+        rbm = RBM(32, 16, block_size=8, seed=0)
+        assert rbm.weight.shape == (2, 4, 8)
+        assert rbm.is_circulant
+        assert rbm.num_weight_parameters == 64
+
+    def test_compression_is_k_fold(self):
+        dense = RBM(64, 64, seed=0)
+        circulant = RBM(64, 64, block_size=16, seed=0)
+        ratio = dense.num_weight_parameters / circulant.num_weight_parameters
+        assert ratio == pytest.approx(16.0)
+
+    def test_invalid_widths(self):
+        with pytest.raises(ConfigurationError):
+            RBM(0, 8)
+
+
+class TestRBMComputation:
+    def test_hidden_probs_in_unit_interval(self, rng):
+        for block in (None, 8):
+            rbm = RBM(32, 16, block_size=block, seed=0)
+            probs = rbm.hidden_probs(_binary_data(rng))
+            assert np.all((probs > 0) & (probs < 1))
+
+    def test_circulant_affine_maps_match_dense_expansion(self, rng):
+        rbm = RBM(32, 16, block_size=8, seed=0)
+        dense_w = expand_to_dense(rbm.weight, 16, 32)
+        v = rng.normal(size=(4, 32))
+        np.testing.assert_allclose(
+            rbm._wv(v), v @ dense_w.T, atol=1e-9
+        )
+        h = rng.normal(size=(4, 16))
+        np.testing.assert_allclose(
+            rbm._wt_h(h), h @ dense_w, atol=1e-9
+        )
+
+    def test_circulant_gradient_is_structured_projection(self, rng):
+        # The CD update must equal the dense outer product projected onto
+        # the block-circulant parameterisation (summed cross-correlation).
+        rbm = RBM(8, 8, block_size=4, seed=0)
+        v = rng.normal(size=(3, 8))
+        h = rng.normal(size=(3, 8))
+        grad = rbm._weight_gradient(h, v)
+        # Finite-difference through the energy term sum(h * (W v)).
+        eps = 1e-6
+        numeric = np.zeros_like(rbm.weight)
+        for index in np.ndindex(rbm.weight.shape):
+            original = rbm.weight[index]
+            rbm.weight[index] = original + eps
+            up = float(np.sum(h * rbm._wv(v)))
+            rbm.weight[index] = original - eps
+            down = float(np.sum(h * rbm._wv(v)))
+            rbm.weight[index] = original
+            numeric[index] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_cd1_shape_validation(self, rng):
+        rbm = RBM(32, 16, seed=0)
+        with pytest.raises(ShapeError):
+            rbm.cd1_step(rng.normal(size=(4, 31)))
+
+
+class TestRBMLearning:
+    @pytest.mark.parametrize("block", [None, 8])
+    def test_cd1_reduces_reconstruction_error(self, rng, block):
+        data = _binary_data(rng, n=96, dims=32)
+        rbm = RBM(32, 24, block_size=block, seed=1)
+        before = rbm.reconstruction_error(data)
+        for _ in range(15):
+            for start in range(0, len(data), 16):
+                rbm.cd1_step(data[start : start + 16], lr=0.1)
+        after = rbm.reconstruction_error(data)
+        assert after < before
+
+
+class TestDBN:
+    def test_stack_structure(self):
+        dbn = DBN([32, 24, 16], block_size=8, seed=0)
+        assert len(dbn.rbms) == 2
+        assert dbn.rbms[0].n_visible == 32
+        assert dbn.rbms[1].n_hidden == 16
+
+    def test_pretrain_logs_errors(self, rng):
+        data = _binary_data(rng, n=48)
+        dbn = DBN([32, 16], block_size=None, seed=0)
+        log = dbn.pretrain(data, epochs=3, batch_size=16, seed=1)
+        assert len(log.layer_errors) == 1
+        assert len(log.layer_errors[0]) == 3
+        assert log.layer_errors[0][-1] <= log.layer_errors[0][0]
+
+    def test_transform_output_shape(self, rng):
+        data = _binary_data(rng, n=20)
+        dbn = DBN([32, 24, 12], block_size=4, seed=0)
+        features = dbn.transform(data)
+        assert features.shape == (20, 12)
+        assert np.all((features >= 0) & (features <= 1))
+
+    def test_needs_two_widths(self):
+        with pytest.raises(ConfigurationError):
+            DBN([32])
+
+    def test_circulant_dbn_compresses(self):
+        dense = DBN([64, 64, 64], seed=0)
+        circulant = DBN([64, 64, 64], block_size=16, seed=0)
+        assert (
+            dense.num_weight_parameters
+            == 16 * circulant.num_weight_parameters
+        )

@@ -1,0 +1,146 @@
+"""Gradient and equivalence tests for Conv2D and BlockCirculantConv2D."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import BlockCirculantConv2D, Conv2D
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from tests.conftest import assert_layer_gradients
+
+
+class TestIm2col:
+    def test_output_size_formula(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+        assert conv_output_size(28, 5, 1, 2) == 28
+        assert conv_output_size(227, 11, 4, 0) == 55
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(3, 5, 1, 0)
+
+    def test_patches_content(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols = im2col(x, 2, stride=2, padding=0)
+        assert cols.shape == (1, 4, 1, 2, 2)
+        np.testing.assert_allclose(cols[0, 0, 0], x[0, 0, 0:2, 0:2])
+        np.testing.assert_allclose(cols[0, 3, 0], x[0, 0, 2:4, 2:4])
+
+    def test_padding_zeros(self, rng):
+        x = rng.normal(size=(1, 1, 2, 2))
+        cols = im2col(x, 3, stride=1, padding=1)
+        assert cols.shape == (1, 4, 1, 3, 3)
+        # First patch's top-left corner lies in the padding.
+        assert cols[0, 0, 0, 0, 0] == 0.0
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> for every geometry tested.
+        for stride, padding in ((1, 0), (2, 1), (1, 2)):
+            x = rng.normal(size=(2, 3, 6, 6))
+            cols = im2col(x, 3, stride, padding)
+            y = rng.normal(size=cols.shape)
+            lhs = float(np.sum(cols * y))
+            back = col2im(y, x.shape, 3, stride, padding)
+            rhs = float(np.sum(x * back))
+            assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            col2im(rng.normal(size=(1, 4, 1, 2, 3)), (1, 1, 4, 4), 2, 2, 0)
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, 3, stride=1, padding=1, seed=0)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_strided_output_shape(self, rng):
+        layer = Conv2D(1, 4, 5, stride=2, padding=0, seed=0)
+        out = layer.forward(rng.normal(size=(2, 1, 13, 13)))
+        assert out.shape == (2, 4, 5, 5)
+
+    def test_matches_direct_convolution(self, rng):
+        # Cross-check against a literal loop implementation of Eq. (2).
+        layer = Conv2D(2, 3, 3, stride=1, padding=0, bias=False, seed=1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = layer.forward(x)
+        w = layer.weight.value
+        for p in range(3):
+            for a in range(3):
+                for b in range(3):
+                    direct = float(
+                        np.sum(x[0, :, a : a + 3, b : b + 3] * w[p])
+                    )
+                    assert out[0, p, a, b] == pytest.approx(direct)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_gradients(self, rng, stride, padding):
+        layer = Conv2D(2, 3, 3, stride=stride, padding=padding, seed=2)
+        assert_layer_gradients(layer, rng.normal(size=(2, 2, 6, 6)), rng)
+
+    def test_channel_validation(self, rng):
+        with pytest.raises(ShapeError):
+            Conv2D(3, 4, 3, seed=0).forward(rng.normal(size=(1, 2, 8, 8)))
+
+
+class TestBlockCirculantConv2D:
+    def test_equals_conv2d_on_expanded_filters(self, rng):
+        # The central §3.2 equivalence: the block-circulant CONV layer is
+        # exactly an unstructured convolution with the expanded filters.
+        layer = BlockCirculantConv2D(
+            4, 6, 3, block_size=2, stride=1, padding=1, seed=3
+        )
+        x = rng.normal(size=(2, 4, 5, 5))
+        reference = Conv2D(4, 6, 3, stride=1, padding=1, seed=0)
+        reference.weight.value = layer.to_dense_filters()
+        reference.bias.value = layer.bias.value
+        np.testing.assert_allclose(
+            layer.forward(x), reference.forward(x), atol=1e-9
+        )
+
+    def test_equivalence_with_channel_padding(self, rng):
+        # 3 input channels with k = 2 forces padding along channels.
+        layer = BlockCirculantConv2D(3, 5, 3, block_size=2, padding=1, seed=4)
+        x = rng.normal(size=(1, 3, 4, 4))
+        reference = Conv2D(3, 5, 3, padding=1, seed=0)
+        reference.weight.value = layer.to_dense_filters()
+        reference.bias.value = layer.bias.value
+        np.testing.assert_allclose(
+            layer.forward(x), reference.forward(x), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_gradients(self, rng, k):
+        layer = BlockCirculantConv2D(2, 4, 2, block_size=k, seed=5)
+        assert_layer_gradients(layer, rng.normal(size=(2, 2, 4, 4)), rng)
+
+    def test_gradients_with_stride_padding(self, rng):
+        layer = BlockCirculantConv2D(
+            2, 2, 3, block_size=2, stride=2, padding=1, seed=6
+        )
+        assert_layer_gradients(layer, rng.normal(size=(1, 2, 5, 5)), rng)
+
+    def test_compression_ratio(self):
+        layer = BlockCirculantConv2D(64, 64, 3, block_size=16, seed=0)
+        assert layer.compression_ratio == pytest.approx(16.0)
+        assert layer.weight.size == 9 * 4 * 4 * 16
+
+    def test_shape_validation(self, rng):
+        layer = BlockCirculantConv2D(3, 4, 3, block_size=2, seed=0)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(1, 4, 8, 8)))
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            BlockCirculantConv2D(2, 2, 2, block_size=2, seed=0).backward(
+                rng.normal(size=(1, 2, 3, 3))
+            )
+
+    def test_radix2_backend_parity(self, rng):
+        a = BlockCirculantConv2D(4, 4, 3, 4, padding=1, seed=7, backend="numpy")
+        b = BlockCirculantConv2D(4, 4, 3, 4, padding=1, seed=7, backend="radix2")
+        x = rng.normal(size=(1, 4, 5, 5))
+        np.testing.assert_allclose(a.forward(x), b.forward(x), atol=1e-9)

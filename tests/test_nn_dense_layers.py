@@ -1,0 +1,128 @@
+"""Gradient and equivalence tests for Dense and BlockCirculantDense."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import BlockCirculantDense, Dense
+from tests.conftest import assert_layer_gradients
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(7, 5, seed=0)
+        assert layer.forward(rng.normal(size=(3, 7))).shape == (3, 5)
+
+    def test_forward_formula(self, rng):
+        layer = Dense(4, 3, seed=0)
+        x = rng.normal(size=(2, 4))
+        expected = x @ layer.weight.value.T + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_gradients(self, rng):
+        assert_layer_gradients(Dense(6, 4, seed=1), rng.normal(size=(3, 6)), rng)
+
+    def test_no_bias(self, rng):
+        layer = Dense(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            Dense(4, 3, seed=0).forward(rng.normal(size=(2, 5)))
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(4, 3, seed=0).backward(rng.normal(size=(2, 3)))
+
+    def test_grad_accumulates(self, rng):
+        layer = Dense(4, 3, seed=0)
+        x = rng.normal(size=(2, 4))
+        g = rng.normal(size=(2, 3))
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestBlockCirculantDense:
+    @pytest.mark.parametrize(
+        "n,m,k", [(8, 8, 4), (7, 5, 4), (12, 6, 3), (16, 16, 16)]
+    )
+    def test_gradients(self, rng, n, m, k):
+        layer = BlockCirculantDense(n, m, k, seed=1)
+        assert_layer_gradients(layer, rng.normal(size=(2, n)), rng)
+
+    def test_equals_dense_on_expanded_matrix(self, rng):
+        layer = BlockCirculantDense(12, 8, 4, seed=2)
+        x = rng.normal(size=(5, 12))
+        expected = x @ layer.to_dense_matrix().T + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-9)
+
+    def test_block_size_one_matches_structure(self, rng):
+        # k = 1 blocks are scalars: the layer is an unstructured matrix.
+        layer = BlockCirculantDense(5, 4, 1, seed=0)
+        assert layer.weight.value.shape == (4, 5, 1)
+        assert layer.compression_ratio == pytest.approx(1.0)
+
+    def test_compression_ratio(self):
+        layer = BlockCirculantDense(1024, 512, 64, seed=0)
+        assert layer.compression_ratio == pytest.approx(64.0)
+        assert layer.dense_parameters == 1024 * 512
+
+    def test_parameter_count_is_linear_not_quadratic(self):
+        small = BlockCirculantDense(256, 256, 64, seed=0)
+        large = BlockCirculantDense(512, 512, 64, seed=0)
+        # Dense params would grow 4x; block-circulant grows 4x too in pq
+        # but with k fixed stays k-fold smaller.
+        assert small.weight.size == 256 * 256 // 64
+        assert large.weight.size == 512 * 512 // 64
+
+    def test_padded_shapes_forward_backward(self, rng):
+        layer = BlockCirculantDense(10, 6, 4, seed=3)
+        x = rng.normal(size=(3, 10))
+        out = layer.forward(x)
+        assert out.shape == (3, 6)
+        grad = layer.backward(rng.normal(size=(3, 6)))
+        assert grad.shape == (3, 10)
+
+    def test_radix2_backend_parity(self, rng):
+        a = BlockCirculantDense(16, 8, 8, seed=4, backend="numpy")
+        b = BlockCirculantDense(16, 8, 8, seed=4, backend="radix2")
+        x = rng.normal(size=(2, 16))
+        np.testing.assert_allclose(a.forward(x), b.forward(x), atol=1e-9)
+
+    def test_shape_validation(self, rng):
+        layer = BlockCirculantDense(8, 8, 4, seed=0)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(2, 9)))
+        layer.forward(rng.normal(size=(2, 8)))
+        with pytest.raises(ShapeError):
+            layer.backward(rng.normal(size=(2, 9)))
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            BlockCirculantDense(8, 8, 4, seed=0).backward(
+                rng.normal(size=(2, 8))
+            )
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(2, 12),
+        m=st.integers(2, 12),
+        k=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_forward_matches_expansion_property(self, seed, n, m, k):
+        rng = np.random.default_rng(seed)
+        layer = BlockCirculantDense(n, m, k, bias=False, seed=int(seed % 1000))
+        x = rng.normal(size=(2, n))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.to_dense_matrix().T, atol=1e-8
+        )

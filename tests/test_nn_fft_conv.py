@@ -1,0 +1,91 @@
+"""Tests for the LeCun FFT-convolution baseline (paper §2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv2D, FFTConv2D
+from repro.nn.fft_conv import fft_conv_extra_storage_factor
+from tests.conftest import assert_layer_gradients
+
+
+def _matched_conv(fft_layer: FFTConv2D, padding: int) -> Conv2D:
+    reference = Conv2D(
+        fft_layer.in_channels, fft_layer.out_channels, fft_layer.field,
+        padding=padding, seed=0,
+    )
+    reference.weight.value = fft_layer.weight.value.copy()
+    reference.bias.value = fft_layer.bias.value.copy()
+    return reference
+
+
+class TestEquivalenceWithConv2D:
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_forward_matches(self, rng, padding):
+        fft_layer = FFTConv2D(3, 5, 3, padding=padding, seed=1)
+        reference = _matched_conv(fft_layer, padding)
+        x = rng.normal(size=(2, 3, 7, 7))
+        np.testing.assert_allclose(
+            fft_layer.forward(x), reference.forward(x), atol=1e-9
+        )
+
+    def test_forward_matches_large_filter(self, rng):
+        # The regime the paper concedes to [52]: large filters.
+        fft_layer = FFTConv2D(2, 3, 7, seed=2)
+        reference = _matched_conv(fft_layer, 0)
+        x = rng.normal(size=(1, 2, 12, 12))
+        np.testing.assert_allclose(
+            fft_layer.forward(x), reference.forward(x), atol=1e-8
+        )
+
+    @pytest.mark.parametrize("padding", [0, 1])
+    def test_backward_matches(self, rng, padding):
+        fft_layer = FFTConv2D(2, 3, 3, padding=padding, seed=3)
+        reference = _matched_conv(fft_layer, padding)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = fft_layer.forward(x)
+        reference.forward(x)
+        cotangent = rng.normal(size=out.shape)
+        fft_layer.zero_grad()
+        reference.zero_grad()
+        grad_fft = fft_layer.backward(cotangent)
+        grad_ref = reference.backward(cotangent)
+        np.testing.assert_allclose(grad_fft, grad_ref, atol=1e-9)
+        np.testing.assert_allclose(
+            fft_layer.weight.grad, reference.weight.grad, atol=1e-9
+        )
+
+    def test_gradients_against_finite_differences(self, rng):
+        assert_layer_gradients(
+            FFTConv2D(2, 2, 3, padding=1, seed=4),
+            rng.normal(size=(1, 2, 5, 5)), rng,
+        )
+
+
+class TestPaperCritique:
+    def test_no_weight_compression(self):
+        # §2.3: the method keeps the unstructured parameter count.
+        layer = FFTConv2D(16, 32, 3, seed=0)
+        dense = Conv2D(16, 32, 3, seed=0)
+        assert layer.weight.size == dense.weight.size
+
+    def test_extra_storage_for_small_filters(self):
+        # Storing spectra at map size *increases* storage for 3x3 filters.
+        factor = fft_conv_extra_storage_factor(13, 13, 3)
+        assert factor > 10.0
+
+    def test_extra_storage_shrinks_for_large_filters(self):
+        small_filter = fft_conv_extra_storage_factor(28, 28, 3)
+        large_filter = fft_conv_extra_storage_factor(28, 28, 11)
+        assert large_filter < small_filter
+
+    def test_validation(self, rng):
+        layer = FFTConv2D(3, 4, 3, seed=0)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(1, 2, 8, 8)))
+        with pytest.raises(ShapeError):
+            FFTConv2D(1, 1, 5, seed=0).forward(rng.normal(size=(1, 1, 3, 3)))
+        with pytest.raises(RuntimeError):
+            FFTConv2D(1, 1, 3, seed=0).backward(rng.normal(size=(1, 1, 2, 2)))

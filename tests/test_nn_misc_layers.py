@@ -1,0 +1,185 @@
+"""Tests for pooling, activations, reshape, dropout and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import (
+    AvgPool2D,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    MSELoss,
+    ReLU,
+    Sigmoid,
+    SoftmaxCrossEntropyLoss,
+    Tanh,
+)
+from tests.conftest import assert_layer_gradients
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_gradients(self, rng):
+        assert_layer_gradients(MaxPool2D(2), rng.normal(size=(2, 3, 4, 4)), rng)
+
+    def test_avgpool_gradients(self, rng):
+        assert_layer_gradients(AvgPool2D(2), rng.normal(size=(2, 3, 4, 4)), rng)
+
+    def test_strided_pool_gradients(self, rng):
+        assert_layer_gradients(
+            MaxPool2D(3, stride=2), rng.normal(size=(1, 2, 7, 7)), rng
+        )
+
+    def test_maxpool_routes_gradient_to_argmax(self):
+        x = np.zeros((1, 1, 2, 2))
+        x[0, 0, 1, 1] = 5.0
+        pool = MaxPool2D(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 1, 1] = 1.0
+        np.testing.assert_allclose(grad, expected)
+
+    def test_output_shape_helper(self):
+        assert MaxPool2D(2).output_shape(28, 28) == (14, 14)
+        assert MaxPool2D(3, stride=2).output_shape(13, 13) == (6, 6)
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ShapeError):
+            MaxPool2D(2).forward(rng.normal(size=(4, 4)))
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_allclose(ReLU().forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient_masks_negatives(self, rng):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[5.0, 7.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 7.0]])
+
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh])
+    def test_gradients(self, rng, layer_cls):
+        # ReLU kinks need inputs away from zero for finite differences.
+        x = rng.normal(size=(3, 5))
+        x[np.abs(x) < 0.1] += 0.5
+        assert_layer_gradients(layer_cls(), x, rng)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(scale=5.0, size=(4, 4)))
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_backward_before_forward(self, rng):
+        for layer in (ReLU(), Sigmoid(), Tanh()):
+            with pytest.raises(RuntimeError):
+                layer.backward(rng.normal(size=(2, 2)))
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 60)
+        grad = layer.backward(rng.normal(size=(2, 60)))
+        assert grad.shape == (2, 3, 4, 5)
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = Dropout(0.5, seed=0).eval()
+        x = rng.normal(size=(4, 8))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_dropout_training_zeroes_and_scales(self, rng):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((1, 10000))
+        out = layer.forward(x)
+        kept = out[out != 0.0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Mean preserved in expectation.
+        assert float(out.mean()) == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.3, seed=1)
+        x = rng.normal(size=(2, 50))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+        with pytest.raises(ConfigurationError):
+            Dropout(-0.1)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        value = loss.forward(logits, labels)
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(4), labels]))
+        assert value == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+
+        def value() -> float:
+            return loss.forward(logits, labels)
+
+        value()
+        analytic = loss.backward()
+        from tests.conftest import numeric_gradient
+
+        numeric = numeric_gradient(value, logits)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-7)
+
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_predictions(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.array([[0.1, 2.0, 0.3], [5.0, 1.0, 0.0]])
+        loss.forward(logits, np.array([1, 0]))
+        np.testing.assert_array_equal(loss.predictions(), [1, 0])
+
+    def test_cross_entropy_shape_validation(self, rng):
+        loss = SoftmaxCrossEntropyLoss()
+        with pytest.raises(ShapeError):
+            loss.forward(rng.normal(size=(4, 3)), np.zeros(5, dtype=int))
+
+    def test_mse_value_and_gradient(self, rng):
+        loss = MSELoss()
+        outputs = rng.normal(size=(3, 4))
+        targets = rng.normal(size=(3, 4))
+        value = loss.forward(outputs, targets)
+        assert value == pytest.approx(float(np.mean((outputs - targets) ** 2)))
+        grad = loss.backward()
+        np.testing.assert_allclose(
+            grad, 2 * (outputs - targets) / outputs.size
+        )
+
+    def test_mse_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            MSELoss().forward(rng.normal(size=(2, 3)), rng.normal(size=(3, 2)))

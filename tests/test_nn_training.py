@@ -1,0 +1,172 @@
+"""Tests for Sequential, optimisers and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import (
+    Adam,
+    BlockCirculantDense,
+    Dense,
+    Dropout,
+    ReLU,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropyLoss,
+    Trainer,
+)
+from repro.nn.module import Parameter
+from repro.nn.training import iterate_minibatches
+
+
+def _toy_problem(rng, n=200, dims=12, classes=3):
+    centers = rng.normal(scale=2.5, size=(classes, dims))
+    labels = rng.integers(0, classes, size=n)
+    data = centers[labels] + rng.normal(scale=0.4, size=(n, dims))
+    return data, labels
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, rng):
+        net = Sequential(Dense(6, 4, seed=0), ReLU(), Dense(4, 2, seed=1))
+        x = rng.normal(size=(3, 6))
+        out = net(x)
+        assert out.shape == (3, 2)
+        grad = net.backward(rng.normal(size=(3, 2)))
+        assert grad.shape == (3, 6)
+
+    def test_parameter_aggregation(self):
+        net = Sequential(Dense(6, 4, seed=0), ReLU(), Dense(4, 2, seed=1))
+        assert len(net.parameters()) == 4
+        assert net.num_parameters() == 6 * 4 + 4 + 4 * 2 + 2
+
+    def test_named_parameters_prefixed(self):
+        net = Sequential(Dense(3, 2, seed=0))
+        names = [name for name, _ in net.named_parameters()]
+        assert names == ["layers.0.weight", "layers.0.bias"]
+
+    def test_train_eval_propagates(self):
+        dropout = Dropout(0.5, seed=0)
+        net = Sequential(Dense(4, 4, seed=0), dropout)
+        net.eval()
+        assert not dropout.training
+        net.train()
+        assert dropout.training
+
+    def test_add_chaining(self):
+        net = Sequential().add(Dense(4, 4, seed=0)).add(ReLU())
+        assert len(net.layers) == 2
+
+    def test_summary_mentions_all_layers(self):
+        text = Sequential(Dense(4, 4, seed=0), ReLU()).summary()
+        assert "Dense" in text and "ReLU" in text and "total params" in text
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        param.grad[:] = [0.5, -0.5]
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.value, [0.95, 2.05])
+
+    def test_sgd_momentum_accumulates(self):
+        param = Parameter(np.array([0.0]))
+        opt = SGD([param], lr=1.0, momentum=0.9)
+        param.grad[:] = 1.0
+        opt.step()   # velocity = 1
+        first = param.value.copy()
+        param.grad[:] = 1.0
+        opt.step()   # velocity = 1.9
+        assert (first - param.value)[0] == pytest.approx(1.9)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([10.0]))
+        param.grad[:] = 0.0
+        SGD([param], lr=0.1, weight_decay=0.5).step()
+        assert param.value[0] < 10.0
+
+    def test_adam_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.grad = 2.0 * param.value  # d/dx of ||x||^2
+            opt.step()
+        np.testing.assert_allclose(param.value, 0.0, atol=1e-2)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(3))
+        param.grad[:] = 5.0
+        SGD([param], lr=0.1).zero_grad()
+        np.testing.assert_allclose(param.grad, 0.0)
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.ones(1))
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD([param], lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam([param], lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self, rng):
+        x = rng.normal(size=(10, 3))
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, 3, rng=0):
+            assert len(bx) == len(by)
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_no_shuffle_preserves_order(self, rng):
+        x = rng.normal(size=(6, 2))
+        y = np.arange(6)
+        batches = list(iterate_minibatches(x, y, 4, shuffle=False))
+        np.testing.assert_array_equal(batches[0][1], [0, 1, 2, 3])
+        np.testing.assert_array_equal(batches[1][1], [4, 5])
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(Exception):
+            list(iterate_minibatches(rng.normal(size=(5, 2)), np.arange(4), 2))
+
+
+class TestTrainer:
+    def test_dense_net_learns(self, rng):
+        data, labels = _toy_problem(rng)
+        net = Sequential(Dense(12, 16, seed=0), ReLU(), Dense(16, 3, seed=1))
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        history = trainer.fit(data, labels, epochs=20, batch_size=32)
+        assert trainer.evaluate(data, labels) > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_block_circulant_net_learns(self, rng):
+        data, labels = _toy_problem(rng)
+        net = Sequential(
+            BlockCirculantDense(12, 16, 4, seed=0), ReLU(),
+            Dense(16, 3, seed=1),
+        )
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        trainer.fit(data, labels, epochs=20, batch_size=32)
+        assert trainer.evaluate(data, labels) > 0.95
+
+    def test_history_tracks_validation(self, rng):
+        data, labels = _toy_problem(rng, n=60)
+        net = Sequential(Dense(12, 3, seed=0))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.05), seed=0)
+        history = trainer.fit(
+            data, labels, epochs=3, x_val=data, y_val=labels
+        )
+        assert len(history.val_accuracy) == 3
+        assert history.final_val_accuracy == history.val_accuracy[-1]
+
+    def test_evaluate_restores_training_mode(self, rng):
+        data, labels = _toy_problem(rng, n=40)
+        net = Sequential(Dense(12, 3, seed=0), Dropout(0.2, seed=0))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01), seed=0)
+        trainer.evaluate(data, labels)
+        assert net.training

@@ -1,0 +1,190 @@
+"""Tests for gradcheck, serialization, schedules and quantised inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import (
+    Adam,
+    BlockCirculantDense,
+    Dense,
+    EarlyStopping,
+    ReLU,
+    SGD,
+    Sequential,
+    StepDecay,
+    Trainer,
+    check_module,
+    load_parameters,
+    parameters_nbytes,
+    save_parameters,
+)
+from repro.quant import (
+    ActivationQuantizer,
+    accuracy_vs_bits,
+    network_accuracy,
+    quantize_network_weights,
+    quantized_view,
+)
+
+
+class TestGradCheck:
+    def test_correct_layer_passes(self, rng):
+        report = check_module(
+            BlockCirculantDense(8, 6, 4, seed=0), rng.normal(size=(2, 8))
+        )
+        assert report.ok, report.describe()
+
+    def test_broken_layer_fails(self, rng):
+        class BrokenDense(Dense):
+            def backward(self, grad_output):
+                grad = super().backward(grad_output)
+                self.weight.grad *= 2.0  # deliberately wrong
+                return grad
+
+        report = check_module(BrokenDense(6, 4, seed=0), rng.normal(size=(2, 6)))
+        assert not report.ok
+        assert "FAILED" in report.describe()
+
+    def test_report_lists_parameters(self, rng):
+        report = check_module(Dense(5, 3, seed=0), rng.normal(size=(2, 5)))
+        assert set(report.parameter_errors) == {"weight", "bias"}
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng, tmp_path):
+        net = Sequential(
+            BlockCirculantDense(16, 8, 4, seed=0), ReLU(),
+            Dense(8, 3, seed=1),
+        )
+        x = rng.normal(size=(4, 16))
+        expected = net(x)
+        path = tmp_path / "weights.npz"
+        count = save_parameters(net, path)
+        assert count == 4  # two weights + two biases
+
+        fresh = Sequential(
+            BlockCirculantDense(16, 8, 4, seed=99), ReLU(),
+            Dense(8, 3, seed=98),
+        )
+        assert not np.allclose(fresh(x), expected)
+        load_parameters(fresh, path)
+        np.testing.assert_allclose(fresh(x), expected)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        net = Sequential(Dense(8, 4, seed=0))
+        path = tmp_path / "weights.npz"
+        save_parameters(net, path)
+        wrong = Sequential(Dense(8, 5, seed=0))
+        with pytest.raises(ShapeError):
+            load_parameters(wrong, path)
+
+    def test_name_mismatch_rejected(self, tmp_path):
+        net = Sequential(Dense(8, 4, seed=0))
+        path = tmp_path / "weights.npz"
+        save_parameters(net, path)
+        wrong = Sequential(Dense(8, 4, seed=0), Dense(4, 2, seed=1))
+        with pytest.raises(ShapeError):
+            load_parameters(wrong, path)
+
+    def test_compressed_file_is_smaller(self):
+        dense = Sequential(Dense(256, 256, seed=0))
+        compressed = Sequential(BlockCirculantDense(256, 256, 64, seed=0))
+        assert parameters_nbytes(compressed, 16) < parameters_nbytes(dense, 16) / 30
+
+
+class TestSchedules:
+    def test_step_decay_halves(self):
+        net = Sequential(Dense(4, 2, seed=0))
+        optimizer = SGD(net.parameters(), lr=0.4)
+        decay = StepDecay(every_epochs=2, factor=0.5)
+        rates = [decay.apply(optimizer, epoch) for epoch in (1, 2, 3, 4)]
+        assert rates == [0.4, 0.2, 0.2, 0.1]
+
+    def test_step_decay_floor(self):
+        net = Sequential(Dense(4, 2, seed=0))
+        optimizer = SGD(net.parameters(), lr=1e-5)
+        decay = StepDecay(every_epochs=1, factor=0.1, min_lr=1e-6)
+        for epoch in range(1, 6):
+            decay.apply(optimizer, epoch)
+        assert optimizer.lr == pytest.approx(1e-6)
+
+    def test_early_stopping_triggers(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.6)   # improvement
+        assert not stopper.update(0.6)   # stale 1
+        assert stopper.update(0.6)       # stale 2 -> stop
+        assert stopper.best == pytest.approx(0.6)
+
+    def test_trainer_integration(self, rng):
+        centers = rng.normal(scale=2.0, size=(2, 6))
+        labels = rng.integers(0, 2, size=80)
+        data = centers[labels] + rng.normal(scale=0.3, size=(80, 6))
+        net = Sequential(Dense(6, 8, seed=0), ReLU(), Dense(8, 2, seed=1))
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        history = trainer.fit(
+            data, labels, epochs=30, x_val=data, y_val=labels,
+            schedule=StepDecay(every_epochs=5),
+            early_stopping=EarlyStopping(patience=3),
+        )
+        # Early stopping must cut the run well short of 30 epochs on a
+        # problem this easy.
+        assert len(history.train_loss) < 30
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            StepDecay(every_epochs=0)
+        with pytest.raises(ConfigurationError):
+            StepDecay(every_epochs=1, factor=0.0)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=0)
+
+
+class TestQuantizedInference:
+    def _trained_net(self, rng):
+        centers = rng.normal(scale=2.0, size=(3, 12))
+        labels = rng.integers(0, 3, size=150)
+        data = centers[labels] + rng.normal(scale=0.4, size=(150, 12))
+        net = Sequential(
+            BlockCirculantDense(12, 16, 4, seed=0), ReLU(),
+            Dense(16, 3, seed=1),
+        )
+        trainer = Trainer(net, Adam(net.parameters(), lr=0.01), seed=0)
+        trainer.fit(data, labels, epochs=15)
+        return net, data, labels
+
+    def test_quantize_in_place(self, rng):
+        net, _, _ = self._trained_net(rng)
+        quantize_network_weights(net, 8)
+        for param in net.parameters():
+            # Everything sits on some power-of-two grid now.
+            assert np.allclose(param.value, np.float64(param.value))
+
+    def test_quantized_view_leaves_original_untouched(self, rng):
+        net, data, _ = self._trained_net(rng)
+        before = net(data[:4]).copy()
+        quantized_view(net, 4, 4)
+        np.testing.assert_array_equal(net(data[:4]), before)
+
+    def test_16bit_preserves_accuracy(self, rng):
+        net, data, labels = self._trained_net(rng)
+        baseline = network_accuracy(net, data, labels)
+        view = quantized_view(net, 16, 16)
+        assert abs(network_accuracy(view, data, labels) - baseline) <= 0.02
+
+    def test_accuracy_vs_bits_is_roughly_monotone(self, rng):
+        # The Fig 15 caveat: accuracy collapses at very low precision.
+        net, data, labels = self._trained_net(rng)
+        curve = accuracy_vs_bits(net, data, labels, bit_widths=(16, 8, 3, 2))
+        assert curve[16] >= curve[2]
+        assert curve[16] > 0.9
+
+    def test_activation_quantizer_passthrough_backward(self, rng):
+        layer = ActivationQuantizer(8)
+        x = rng.normal(size=(3, 4))
+        layer.forward(x)
+        grad = rng.normal(size=(3, 4))
+        np.testing.assert_array_equal(layer.backward(grad), grad)

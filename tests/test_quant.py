@@ -1,0 +1,157 @@
+"""Tests for fixed-point quantisation (16-bit datapath, 4-bit NT mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quant import (
+    FixedPointFormat,
+    QuantizationReport,
+    fit_format,
+    quantization_snr_db,
+    quantize_tensor,
+)
+
+
+class TestFixedPointFormat:
+    def test_range_q15(self):
+        fmt = FixedPointFormat(16, 15)
+        assert fmt.max_value == pytest.approx(1.0 - 2**-15)
+        assert fmt.min_value == pytest.approx(-1.0)
+        assert fmt.resolution == 2**-15
+        assert fmt.num_codes == 65536
+
+    def test_quantize_on_grid(self, rng):
+        fmt = FixedPointFormat(8, 4)
+        values = fmt.quantize(rng.normal(size=100))
+        codes = values / fmt.resolution
+        np.testing.assert_allclose(codes, np.round(codes), atol=1e-12)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.max_value
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.min_value
+
+    def test_round_to_nearest(self):
+        fmt = FixedPointFormat(8, 0)
+        np.testing.assert_allclose(
+            fmt.quantize(np.array([1.4, 1.6, -2.7])), [1.0, 2.0, -3.0]
+        )
+
+    def test_idempotent(self, rng):
+        fmt = FixedPointFormat(12, 6)
+        once = fmt.quantize(rng.normal(size=50))
+        np.testing.assert_array_equal(fmt.quantize(once), once)
+
+    def test_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat(16, 12)
+        x = rng.uniform(-1.0, 1.0, size=1000)
+        error = fmt.quantization_error(x)
+        assert np.max(np.abs(error)) <= fmt.resolution / 2 + 1e-15
+
+    def test_negative_frac_bits(self):
+        fmt = FixedPointFormat(8, -2)
+        assert fmt.resolution == 4.0
+        assert fmt.quantize(np.array([10.0]))[0] == 8.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(1, 0)
+
+    def test_str_form(self):
+        assert str(FixedPointFormat(16, 15)) == "Q0.15"
+
+
+class TestFitFormat:
+    def test_covers_peak(self, rng):
+        x = rng.normal(scale=3.0, size=200)
+        fmt = fit_format(x, 16)
+        assert fmt.max_value >= np.max(np.abs(x)) or (
+            fmt.quantize(x).max() <= fmt.max_value
+        )
+        # No saturation should occur.
+        np.testing.assert_allclose(
+            fmt.quantize(x), np.round(x / fmt.resolution) * fmt.resolution
+        )
+
+    def test_zero_tensor(self):
+        fmt = fit_format(np.zeros(10), 16)
+        assert fmt.frac_bits == 15
+
+    def test_small_values_get_fine_resolution(self):
+        fine = fit_format(np.full(4, 1e-3), 16)
+        coarse = fit_format(np.full(4, 1e3), 16)
+        assert fine.resolution < coarse.resolution
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_format(np.array([]), 16)
+
+
+class TestSNR:
+    def test_16_bit_is_benign(self, rng):
+        x = rng.normal(size=5000)
+        assert quantization_snr_db(x, 16) > 70.0
+
+    def test_4_bit_is_destructive(self, rng):
+        # The paper's near-threshold caveat: 4-bit wrecks accuracy.
+        x = rng.normal(size=5000)
+        assert quantization_snr_db(x, 4) < 20.0
+
+    def test_snr_increases_with_bits(self, rng):
+        x = rng.normal(size=2000)
+        snrs = [quantization_snr_db(x, bits) for bits in (4, 8, 12, 16)]
+        assert snrs == sorted(snrs)
+
+    def test_quantize_tensor_roundtrip_error(self, rng):
+        x = rng.normal(size=100)
+        err16 = np.max(np.abs(quantize_tensor(x, 16) - x))
+        err4 = np.max(np.abs(quantize_tensor(x, 4) - x))
+        assert err16 < err4
+
+    def test_report(self, rng):
+        report = QuantizationReport.for_tensor(rng.normal(size=500), 16)
+        assert report.snr_db > 70
+        assert report.max_abs_error < 1e-3
+        assert report.format.total_bits == 16
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        bits=st.integers(min_value=3, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_saturation_property(self, seed, bits):
+        # Range-fitted formats never saturate the tensor they were fit to.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(scale=float(rng.uniform(0.01, 100)), size=64)
+        fmt = fit_format(x, bits)
+        quantized = fmt.quantize(x)
+        assert np.max(np.abs(quantized - x)) <= fmt.resolution / 2 + 1e-12
+
+
+class TestQuantizedInference:
+    def test_16bit_weights_preserve_network_output(self, rng):
+        # §4.2: 16-bit weights are accurate enough for DNNs.
+        from repro.nn import BlockCirculantDense
+
+        layer = BlockCirculantDense(64, 32, 8, seed=0)
+        x = rng.normal(size=(4, 64))
+        clean = layer.forward(x)
+        layer.weight.value = quantize_tensor(layer.weight.value, 16)
+        quantized = layer.forward(x)
+        assert np.max(np.abs(clean - quantized)) < 1e-3
+
+    def test_4bit_weights_distort_network_output(self, rng):
+        from repro.nn import BlockCirculantDense
+
+        layer = BlockCirculantDense(64, 32, 8, seed=0)
+        x = rng.normal(size=(4, 64))
+        clean = layer.forward(x)
+        layer.weight.value = quantize_tensor(layer.weight.value, 4)
+        distorted = layer.forward(x)
+        relative = np.linalg.norm(distorted - clean) / np.linalg.norm(clean)
+        assert relative > 0.05

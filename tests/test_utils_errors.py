@@ -1,0 +1,96 @@
+"""Tests for the utility helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BackendError,
+    ConfigurationError,
+    ConvergenceError,
+    NotPowerOfTwoError,
+    ReproError,
+    ShapeError,
+)
+from repro.utils import (
+    ensure_divisible,
+    ensure_in_range,
+    ensure_positive,
+    ensure_power_of_two,
+    is_power_of_two,
+    make_rng,
+    next_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(n) for n in (1, 2, 4, 1024, 2**20))
+        assert not any(is_power_of_two(n) for n in (0, -2, 3, 6, 12, 100))
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(500) == 512
+        assert next_power_of_two(1025) == 2048
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ShapeError):
+            next_power_of_two(0)
+
+    def test_ensure_power_of_two(self):
+        assert ensure_power_of_two(64) == 64
+        with pytest.raises(NotPowerOfTwoError) as excinfo:
+            ensure_power_of_two(12, "block")
+        assert "block" in str(excinfo.value)
+
+
+class TestValidators:
+    def test_ensure_positive(self):
+        assert ensure_positive(3) == 3
+        with pytest.raises(ConfigurationError):
+            ensure_positive(0, "count")
+
+    def test_ensure_divisible(self):
+        assert ensure_divisible(12, 4) == 3
+        with pytest.raises(ShapeError):
+            ensure_divisible(13, 4, "width")
+        with pytest.raises(ConfigurationError):
+            ensure_divisible(12, 0)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(5, 1, 10) == 5
+        with pytest.raises(ConfigurationError):
+            ensure_in_range(11, 1, 10, "depth")
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a = make_rng(42).normal(size=5)
+        b = make_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ShapeError, NotPowerOfTwoError, ConfigurationError,
+                    ConvergenceError, BackendError):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Callers using plain ValueError handling still catch shape issues.
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(NotPowerOfTwoError, ShapeError)
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
