@@ -9,7 +9,6 @@ both monotonic directions of the trade-off.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets import dataset_spec, make_classification_images
 from repro.nn import Adam, BlockCirculantDense, Dense, ReLU, Sequential, Trainer

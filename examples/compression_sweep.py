@@ -12,7 +12,6 @@ Run: ``python examples/compression_sweep.py``
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.compress import (
     LowRankDense,

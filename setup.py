@@ -3,6 +3,12 @@
 The sandbox has no `wheel` package, so pip's PEP-660 editable path fails;
 `pip install -e .` falls back through this shim.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="circnn-repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.complexity import LayerWork, model_work
+from repro.analysis.complexity import model_work
 from repro.arch.computing_block import BasicComputingBlock
 from repro.arch.peripheral import PeripheralComputingBlock
 from repro.arch.platforms import PlatformSpec

@@ -11,6 +11,8 @@
 - :mod:`repro.circulant.projection` — least-squares projection of a dense
   matrix onto the (block-)circulant set, used to initialise compressed
   layers from dense ones and by the baselines.
+- :mod:`repro.circulant.spectral_cache` — precomputed weight spectra keyed
+  by parameter version, the serving-path amortisation of the weight FFT.
 """
 
 from repro.circulant.circulant import CirculantMatrix
@@ -22,7 +24,9 @@ from repro.circulant.ops import (
     expand_to_dense,
     partition_vector,
     unpartition_vector,
+    weight_spectrum,
 )
+from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.circulant.projection import (
     nearest_block_circulant,
     nearest_circulant_vector,
@@ -40,5 +44,7 @@ __all__ = [
     "unpartition_vector",
     "nearest_block_circulant",
     "nearest_circulant_vector",
+    "SpectralWeightCache",
     "ToeplitzMatrix",
+    "weight_spectrum",
 ]

@@ -13,12 +13,19 @@ and the two backward products of Algorithm 2,
     ∂L/∂x_j  = Σ_i IFFT(conj(FFT(w_ij)) ∘ FFT(∂L/∂a_i)),
 
 are evaluated over a whole batch with one real FFT per block row/column and
-one ``einsum`` in the half-spectrum domain. (The paper writes the backward
+one contraction in the half-spectrum domain — the einsum
+``"pqf,bqf->bpf"`` executed as a batched BLAS product, one complex GEMM
+per frequency bin, with no Python loop over the block grid. (The paper
+writes the backward
 pass with an index-reversed ``x'``; for real signals that reversal equals
 the complex conjugate in the frequency domain, which is what we use.)
 
 All functions accept an FFT ``backend`` name so every experiment can be
-replayed on the from-scratch radix-2 kernel.
+replayed on the from-scratch radix-2 kernel, and a ``cached_spectrum=``
+fast path that consumes a precomputed :func:`weight_spectrum` — weights
+change once per optimiser step but are read on every inference, so the
+serving path (see :class:`repro.circulant.spectral_cache.SpectralWeightCache`)
+amortises the weight FFT across calls and only transforms activations.
 """
 
 from __future__ import annotations
@@ -78,8 +85,29 @@ def unpartition_vector(a: np.ndarray, m: int) -> np.ndarray:
     return a.reshape(batch, p * k)[:, :m]
 
 
+def weight_spectrum(w: np.ndarray, backend=None) -> np.ndarray:
+    """Half-spectra of the defining vectors: ``rfft`` over the last axis.
+
+    ``w`` is a grid of defining vectors — ``(p, q, k)`` for the FC layer,
+    ``(r², p, q, k)`` for the CONV layer — and the result replaces the last
+    axis with ``k//2 + 1`` complex bins, the array consumed by the
+    ``cached_spectrum=`` fast path of :func:`block_circulant_forward` /
+    :func:`block_circulant_backward`. Computing this once per weight
+    update — rather than once per inference — is the amortisation that
+    :class:`repro.circulant.spectral_cache.SpectralWeightCache` automates.
+    """
+    be = get_backend(backend)
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim < 3:
+        raise ShapeError(
+            f"weights must be a (..., q, k) block grid, got shape {w.shape}"
+        )
+    return be.rfft(w)
+
+
 def block_circulant_forward(
-    w: np.ndarray, x_blocks: np.ndarray, backend=None
+    w: np.ndarray, x_blocks: np.ndarray, backend=None, *,
+    cached_spectrum: np.ndarray | None = None,
 ) -> np.ndarray:
     """Algorithm 1: batched forward product of a block-circulant matrix.
 
@@ -89,6 +117,10 @@ def block_circulant_forward(
         Defining vectors, shape ``(p, q, k)`` (first columns of each block).
     x_blocks:
         Input blocks, shape ``(batch, q, k)``.
+    cached_spectrum:
+        Optional precomputed ``rfft(w)`` of shape ``(p, q, k//2 + 1)``
+        (see :func:`weight_spectrum`). When given, the weight FFT — the
+        dominant cost for inference-sized batches — is skipped entirely.
 
     Returns
     -------
@@ -99,10 +131,16 @@ def block_circulant_forward(
     x_blocks = np.asarray(x_blocks, dtype=np.float64)
     _check_block_shapes(w, x_blocks)
     k = w.shape[-1]
-    wf = be.rfft(w)
+    if cached_spectrum is None:
+        wf = be.rfft(w)
+    else:
+        wf = cached_spectrum
+        _check_spectrum_shape(wf, w.shape)
     xf = be.rfft(x_blocks)
-    af = np.einsum("pqf,bqf->bpf", wf, xf)
-    return be.irfft(af, n=k)
+    # einsum("pqf,bqf->bpf") evaluated as one BLAS zgemm per frequency bin:
+    # (f, p, q) @ (f, q, batch) -> (f, p, batch).
+    af = np.matmul(wf.transpose(2, 0, 1), xf.transpose(2, 1, 0))
+    return be.irfft(af.transpose(2, 1, 0), n=k)
 
 
 def block_circulant_backward(
@@ -110,6 +148,8 @@ def block_circulant_backward(
     x_blocks: np.ndarray,
     grad_blocks: np.ndarray,
     backend=None,
+    *,
+    cached_spectrum: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Algorithm 2: gradients of the block-circulant product.
 
@@ -121,6 +161,9 @@ def block_circulant_backward(
         Forward input blocks ``(batch, q, k)``.
     grad_blocks:
         ``∂L/∂a`` blocks, shape ``(batch, p, k)``.
+    cached_spectrum:
+        Optional precomputed ``rfft(w)`` (see :func:`weight_spectrum`);
+        skips the weight FFT exactly as in the forward pass.
 
     Returns
     -------
@@ -144,11 +187,21 @@ def block_circulant_backward(
             "grad batch "
             f"{grad_blocks.shape[0]} != input batch {x_blocks.shape[0]}"
         )
-    wf = be.rfft(w)
+    if cached_spectrum is None:
+        wf = be.rfft(w)
+    else:
+        wf = cached_spectrum
+        _check_spectrum_shape(wf, w.shape)
     xf = be.rfft(x_blocks)
     gf = be.rfft(grad_blocks)
-    grad_wf = np.einsum("bpf,bqf->pqf", gf, np.conj(xf))
-    grad_xf = np.einsum("pqf,bpf->bqf", np.conj(wf), gf)
+    # The two einsums ("bpf,bqf->pqf" and "pqf,bpf->bqf") as per-frequency
+    # BLAS products, mirroring the forward pass.
+    grad_wf = np.matmul(
+        gf.transpose(2, 1, 0), np.conj(xf).transpose(2, 0, 1)
+    ).transpose(1, 2, 0)
+    grad_xf = np.matmul(
+        gf.transpose(2, 0, 1), np.conj(wf).transpose(2, 0, 1)
+    ).transpose(1, 2, 0)
     grad_w = be.irfft(grad_wf, n=k)
     grad_x = be.irfft(grad_xf, n=k)
     return grad_w, grad_x
@@ -175,6 +228,16 @@ def expand_to_dense(w: np.ndarray, m: int | None = None,
         dense = dense[: (m if m is not None else p * k),
                       : (n if n is not None else q * k)]
     return dense
+
+
+def _check_spectrum_shape(wf: np.ndarray, w_shape: tuple[int, ...]) -> None:
+    p, q, k = w_shape
+    expected = (p, q, k // 2 + 1)
+    if wf.shape != expected:
+        raise ShapeError(
+            f"cached spectrum must have shape {expected} for weights "
+            f"{w_shape}, got {wf.shape}"
+        )
 
 
 def _check_block_shapes(w: np.ndarray, x_blocks: np.ndarray) -> None:

@@ -1,0 +1,117 @@
+"""Cached weight spectra — the amortisation at the heart of serving CirCNN.
+
+A block-circulant layer multiplies by the *same* weights on every forward
+call, yet Algorithm 1 as written recomputes ``FFT(w_ij)`` each time. For
+inference-sized batches the weight FFT (``p·q`` transforms) dominates the
+activation FFT (``batch·q`` transforms), so caching the weight spectra is
+where the serving-path speedup lives — the same observation Li et al.
+(FPGA 2018) exploit by storing RNN weights in the frequency domain.
+
+:class:`SpectralWeightCache` maps a :class:`~repro.nn.module.Parameter`
+(plus the FFT backend used to transform it) to the half-spectrum array
+``rfft(w)`` consumed by the ``cached_spectrum=`` fast path of
+:mod:`repro.circulant.ops`.
+
+When spectra are recomputed
+---------------------------
+An entry is recomputed — lazily, on the next lookup — whenever the
+parameter's ``version`` counter no longer matches the version the spectrum
+was computed from. ``Parameter.value`` bumps that counter on every
+assignment, which covers optimiser steps (``param.value -= lr * g``),
+deserialisation, quantisation and pruning. Two cases are *not* detected:
+
+- element-wise writes that never reassign the attribute
+  (``param.value[0] = x``) — call ``param.mark_updated()`` after those;
+- mutation of the array through an alias obtained before the lookup.
+
+Entries are keyed per backend name, so a network evaluated on both the
+``numpy`` and ``radix2`` backends holds one spectrum per backend and the
+two never alias. Cached arrays are returned read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circulant.ops import weight_spectrum
+from repro.fftcore.backend import get_backend
+
+
+@dataclass
+class _CacheEntry:
+    spectrum: np.ndarray
+    version: int
+
+
+class SpectralWeightCache:
+    """Precomputed ``rfft`` of defining vectors, invalidated by version.
+
+    One cache can serve many layers (``Sequential.compile_inference``
+    shares a single instance across the whole network); entries are keyed
+    by ``(id(parameter), backend_name)`` and a strong reference to each
+    parameter is kept so ids stay unique for the cache's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, str], _CacheEntry] = {}
+        self._owners: dict[int, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def spectrum(self, param, backend=None) -> np.ndarray:
+        """The cached half-spectrum of ``param.value``; recompute if stale.
+
+        ``param`` is a :class:`~repro.nn.module.Parameter` holding
+        ``(p, q, k)`` defining vectors. The returned array is read-only
+        and has shape ``(p, q, k//2 + 1)``.
+        """
+        be = get_backend(backend)
+        key = (id(param), be.name)
+        entry = self._entries.get(key)
+        if entry is not None and entry.version == param.version:
+            self.hits += 1
+            return entry.spectrum
+        self.misses += 1
+        spectrum = weight_spectrum(param.value, be)
+        if spectrum.ndim == 3:
+            # Store frequency-major memory behind the natural (p, q, f)
+            # view: the fast path's transpose(2, 0, 1) then yields a
+            # C-contiguous array, so the per-frequency BLAS product in
+            # repro.circulant.ops runs with zero copies.
+            spectrum = np.ascontiguousarray(
+                spectrum.transpose(2, 0, 1)
+            ).transpose(1, 2, 0)
+        spectrum.setflags(write=False)
+        self._entries[key] = _CacheEntry(spectrum, param.version)
+        self._owners[id(param)] = param
+        return spectrum
+
+    def invalidate(self, param=None) -> None:
+        """Drop cached spectra for ``param``, or every entry when ``None``."""
+        if param is None:
+            self._entries.clear()
+            self._owners.clear()
+            return
+        target = id(param)
+        for key in [k for k in self._entries if k[0] == target]:
+            del self._entries[key]
+        self._owners.pop(target, None)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/entry counters (for tests and serving dashboards)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpectralWeightCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -34,7 +34,6 @@ from repro.models import (
     default_alexnet_full_plan,
     default_lenet5_caffe_plan,
     lenet5_caffe_spec,
-    mnist_mlp_spec,
     svhn_convnet_spec,
 )
 from repro.models.descriptors import DenseSpec

@@ -19,9 +19,9 @@ This package reimplements that kernel in software:
 """
 
 from repro.fftcore.reference import dft_direct, idft_direct
-from repro.fftcore.radix2 import fft_radix2, ifft_radix2
+from repro.fftcore.radix2 import fft_radix2, ifft_radix2, stage_twiddles
 from repro.fftcore.real import irfft_real, rfft_real
-from repro.fftcore.plan import FFTPlan
+from repro.fftcore.plan import FFTPlan, get_plan
 from repro.fftcore.ops_count import (
     FFTOpCount,
     complex_fft_butterflies,
@@ -32,6 +32,7 @@ from repro.fftcore.ops_count import (
 from repro.fftcore.backend import (
     FFTBackend,
     available_backends,
+    clear_plan_caches,
     get_backend,
     set_default_backend,
 )
@@ -51,6 +52,9 @@ __all__ = [
     "real_fft_ops",
     "FFTBackend",
     "available_backends",
+    "clear_plan_caches",
     "get_backend",
+    "get_plan",
     "set_default_backend",
+    "stage_twiddles",
 ]

@@ -9,6 +9,13 @@ Two numerically identical implementations are available:
 The block-circulant kernels in :mod:`repro.circulant.ops` take a backend
 argument, so every experiment can be re-run on the from-scratch kernel to
 certify the two agree.
+
+Each backend instance keeps a per-``(backend, n)`` plan cache
+(:meth:`FFTBackend.plan`): the first transform of a given size builds the
+:class:`~repro.fftcore.plan.FFTPlan` plus its bit-reversal and twiddle
+tables, and every later call of that size reuses them. This is what stops
+the radix-2 backend from re-deriving twiddle factors on every call — the
+serving-path requirement behind the spectral inference engine.
 """
 
 from __future__ import annotations
@@ -16,14 +23,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import BackendError
-from repro.fftcore.radix2 import fft_radix2, ifft_radix2
-from repro.fftcore.real import irfft_real, rfft_real
+from repro.fftcore.plan import FFTPlan, clear_plan_cache, get_plan
+from repro.fftcore.radix2 import clear_twiddle_caches, fft_radix2, ifft_radix2
+from repro.fftcore.real import clear_real_fft_caches, irfft_real, rfft_real
 
 
 class FFTBackend:
     """Interface: forward/inverse complex and real transforms, last axis."""
 
     name = "abstract"
+
+    def __init__(self) -> None:
+        self._plans: dict[int, FFTPlan] = {}
 
     def fft(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -36,6 +47,26 @@ class FFTBackend:
 
     def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
         raise NotImplementedError
+
+    def plan(self, n: int) -> FFTPlan:
+        """The cached :class:`FFTPlan` this backend uses for size ``n``.
+
+        First use of a size warms the plan (:meth:`FFTPlan.warm`): the
+        bit-reversal permutation, stage twiddles and real-transform
+        tables are all materialised in the shared ROM caches, so a
+        server can warm every transform size it will see before taking
+        traffic. The per-backend dict also records which sizes this
+        backend has planned (see :meth:`plan_cache_size`).
+        """
+        plan = self._plans.get(n)
+        if plan is None:
+            plan = get_plan(n).warm()
+            self._plans[n] = plan
+        return plan
+
+    def plan_cache_size(self) -> int:
+        """Number of distinct transform sizes planned on this backend."""
+        return len(self._plans)
 
     def __repr__(self) -> str:
         return f"<FFTBackend {self.name}>"
@@ -60,20 +91,32 @@ class NumpyFFTBackend(FFTBackend):
 
 
 class Radix2FFTBackend(FFTBackend):
-    """The from-scratch kernels of :mod:`repro.fftcore` (hardware model)."""
+    """The from-scratch kernels of :mod:`repro.fftcore` (hardware model).
+
+    Every call first touches the per-size plan cache, so the bit-reversal
+    permutation and stage twiddles are built exactly once per transform
+    size for the lifetime of the process.
+    """
 
     name = "radix2"
 
     def fft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        self.plan(x.shape[-1])
         return fft_radix2(x)
 
     def ifft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        self.plan(x.shape[-1])
         return ifft_radix2(x)
 
     def rfft(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        self.plan(x.shape[-1])
         return rfft_real(x)
 
     def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
+        self.plan(n)
         return irfft_real(x, n=n)
 
 
@@ -111,3 +154,18 @@ def set_default_backend(name: str) -> None:
             f"unknown FFT backend {name!r}; available: {available_backends()}"
         )
     _default_backend_name = name
+
+
+def clear_plan_caches() -> None:
+    """Reset every FFT plan/twiddle cache in the process.
+
+    Drops the per-backend plan dictionaries, the shared plan registry, and
+    the bit-reversal / twiddle / real-FFT table caches. Intended for tests
+    and long-running servers that want to bound memory after a burst of
+    unusual transform sizes.
+    """
+    for backend in _BACKENDS.values():
+        backend._plans.clear()
+    clear_plan_cache()
+    clear_twiddle_caches()
+    clear_real_fft_caches()

@@ -13,6 +13,12 @@ stage. :class:`FFTPlan` makes that property executable and inspectable:
   extra combine levels a hardware block of a given size needs — exactly the
   multiplexing scheme of §4.1 ("multiple small-scale FFT blocks can be
   multiplexed and calculate a large-scale FFT").
+
+Plans are cheap but not free, so :func:`get_plan` memoises one plan per
+transform size, and :meth:`FFTPlan.twiddle_table` / :meth:`FFTPlan.bit_reversal`
+expose the per-size constant tables from the shared ROM-style caches in
+:mod:`repro.fftcore.radix2` — the backend layer keys its own plan cache on
+``(backend, n)`` on top of this (see :mod:`repro.fftcore.backend`).
 """
 
 from __future__ import annotations
@@ -21,8 +27,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fftcore.radix2 import fft_radix2
+from repro.fftcore.radix2 import (
+    bit_reverse_indices,
+    fft_radix2,
+    stage_twiddles,
+)
+from repro.fftcore.real import warm_real_tables
 from repro.utils.validation import ensure_power_of_two
+
+_PLAN_CACHE: dict[int, "FFTPlan"] = {}
+
+
+def get_plan(n: int) -> "FFTPlan":
+    """Return the memoised :class:`FFTPlan` for transform size ``n``."""
+    plan = _PLAN_CACHE.get(n)
+    if plan is None:
+        plan = FFTPlan(n)
+        _PLAN_CACHE[n] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoised plans (tests/memory)."""
+    _PLAN_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -89,6 +116,34 @@ class FFTPlan:
         """Total butterfly operations: ``(n/2) * log2(n)``."""
         return (self.n // 2) * self.num_levels
 
+    def warm(self) -> "FFTPlan":
+        """Eagerly materialise every constant table this size can read.
+
+        Touches the bit-reversal permutation and stage twiddles for
+        complex FFTs of size ``n``, plus the real-transform tables (and
+        their half-size complex tables), so a server can warm each
+        transform size before taking traffic and the first request does
+        no table construction. Returns self.
+        """
+        if self.n > 1:
+            bit_reverse_indices(self.n)
+            stage_twiddles(self.n)
+            warm_real_tables(self.n)
+        return self
+
+    def bit_reversal(self) -> np.ndarray:
+        """The (cached, read-only) input permutation of this transform."""
+        return bit_reverse_indices(self.n)
+
+    def twiddle_table(self) -> tuple[np.ndarray, ...]:
+        """Per-stage twiddle-factor arrays, one per butterfly level.
+
+        Served from the module-level cache in :mod:`repro.fftcore.radix2`,
+        so repeated transforms of one size share a single set of tables —
+        the software analogue of the hardware twiddle ROM.
+        """
+        return stage_twiddles(self.n)
+
     def execute_recursive(self, x: np.ndarray) -> np.ndarray:
         """Evaluate the FFT literally as the Fig 9 recursion.
 
@@ -102,10 +157,11 @@ class FFTPlan:
             raise ValueError(f"plan is for size {self.n}, got {x.shape[-1]}")
         if self.n == 1:
             return x.astype(np.complex128, copy=True)
-        half_plan = FFTPlan(self.n // 2)
+        half_plan = get_plan(self.n // 2)
         even = half_plan.execute_recursive(x[..., 0::2])
         odd = half_plan.execute_recursive(x[..., 1::2])
-        twiddle = np.exp(-2j * np.pi * np.arange(self.n // 2) / self.n)
+        # The combine twiddles W_n^k are exactly the last-stage ROM entries.
+        twiddle = stage_twiddles(self.n)[-1]
         t = twiddle * odd
         return np.concatenate([even + t, even - t], axis=-1)
 

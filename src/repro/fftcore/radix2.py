@@ -8,6 +8,12 @@ butterfly performs, so the op counts in :mod:`repro.fftcore.ops_count`
 describe both implementations.
 
 Only power-of-two sizes are supported, mirroring the hardware constraint.
+
+Bit-reversal permutations and per-stage twiddle-factor tables depend only
+on the transform size, so they are computed once per ``n`` and served from
+module-level caches (the software analogue of the hardware twiddle ROM);
+no trigonometry is re-evaluated on the hot path after the first transform
+of a given size.
 """
 
 from __future__ import annotations
@@ -16,22 +22,60 @@ import numpy as np
 
 from repro.utils.validation import ensure_power_of_two
 
+_BIT_REVERSE_CACHE: dict[int, np.ndarray] = {}
+_STAGE_TWIDDLE_CACHE: dict[int, tuple[np.ndarray, ...]] = {}
+
 
 def bit_reverse_indices(n: int) -> np.ndarray:
     """Return the bit-reversal permutation of ``range(n)`` (n a power of two).
 
     This is the input reordering of a decimation-in-time radix-2 FFT: the
     element at position ``i`` moves to the position whose binary index is
-    ``i`` written backwards in ``log2(n)`` bits.
+    ``i`` written backwards in ``log2(n)`` bits. The result is cached per
+    ``n`` and returned read-only.
     """
     ensure_power_of_two(n, "n")
+    cached = _BIT_REVERSE_CACHE.get(n)
+    if cached is not None:
+        return cached
     bits = n.bit_length() - 1
     idx = np.arange(n)
     rev = np.zeros(n, dtype=np.int64)
     for _ in range(bits):
         rev = (rev << 1) | (idx & 1)
         idx = idx >> 1
+    rev.setflags(write=False)
+    _BIT_REVERSE_CACHE[n] = rev
     return rev
+
+
+def stage_twiddles(n: int) -> tuple[np.ndarray, ...]:
+    """Per-stage twiddle tables ``W_m^k = exp(-2πi k / m)`` for a size-``n``
+    forward FFT, one read-only array of length ``m/2`` per butterfly level
+    (``m = 2, 4, ..., n``). Cached per ``n`` — the twiddle-ROM contents of
+    the paper's Fig 10 pipeline.
+    """
+    ensure_power_of_two(n, "n")
+    cached = _STAGE_TWIDDLE_CACHE.get(n)
+    if cached is not None:
+        return cached
+    tables = []
+    m = 2
+    while m <= n:
+        half = m // 2
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / m)
+        twiddle.setflags(write=False)
+        tables.append(twiddle)
+        m *= 2
+    result = tuple(tables)
+    _STAGE_TWIDDLE_CACHE[n] = result
+    return result
+
+
+def clear_twiddle_caches() -> None:
+    """Drop the cached bit-reversal and twiddle tables (tests/memory)."""
+    _BIT_REVERSE_CACHE.clear()
+    _STAGE_TWIDDLE_CACHE.clear()
 
 
 def _fft_inplace(y: np.ndarray, n: int) -> np.ndarray:
@@ -41,10 +85,8 @@ def _fft_inplace(y: np.ndarray, n: int) -> np.ndarray:
     stage by stage, exactly one stage per level of the hardware pipeline.
     """
     m = 2
-    while m <= n:
+    for twiddle in stage_twiddles(n):
         half = m // 2
-        # Twiddle factors for this stage: W_m^k = exp(-2πi k / m).
-        twiddle = np.exp(-2j * np.pi * np.arange(half) / m)
         blocks = y.reshape(y.shape[:-1] + (n // m, m))
         even = blocks[..., :half]
         odd = blocks[..., half:] * twiddle

@@ -20,6 +20,65 @@ from repro.errors import ShapeError
 from repro.fftcore.radix2 import fft_radix2, ifft_radix2
 from repro.utils.validation import ensure_power_of_two
 
+# The unpack/repack stages use index tables and twiddle factors that depend
+# only on n; like the radix-2 stage twiddles they are cached per size so
+# repeated transforms (the serving fast path) do no trig on the hot path.
+_RFFT_TABLE_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_IRFFT_TABLE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _rfft_tables(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached ``(idx, ridx, twiddle)`` unpacking tables for :func:`rfft_real`."""
+    cached = _RFFT_TABLE_CACHE.get(n)
+    if cached is not None:
+        return cached
+    half = n // 2
+    k = np.arange(half + 1)
+    idx = k % half
+    ridx = (half - k) % half
+    twiddle = np.exp(-2j * np.pi * k / n)
+    for table in (idx, ridx, twiddle):
+        table.setflags(write=False)
+    _RFFT_TABLE_CACHE[n] = (idx, ridx, twiddle)
+    return idx, ridx, twiddle
+
+
+def _irfft_twiddle(n: int) -> np.ndarray:
+    """Cached repacking twiddle ``exp(2πi k / n)`` for :func:`irfft_real`."""
+    cached = _IRFFT_TABLE_CACHE.get(n)
+    if cached is not None:
+        return cached
+    twiddle = np.exp(2j * np.pi * np.arange(n // 2) / n)
+    twiddle.setflags(write=False)
+    _IRFFT_TABLE_CACHE[n] = twiddle
+    return twiddle
+
+
+def clear_real_fft_caches() -> None:
+    """Drop the cached rfft/irfft tables (tests/memory)."""
+    _RFFT_TABLE_CACHE.clear()
+    _IRFFT_TABLE_CACHE.clear()
+
+
+def warm_real_tables(n: int) -> None:
+    """Materialise every table a size-``n`` rfft/irfft pair will read.
+
+    Covers the unpack/repack tables of this module plus the half-size
+    complex-FFT tables used by the even/odd packing trick, so a warmed
+    transform size does no table construction on the first real call.
+    """
+    ensure_power_of_two(n, "transform size")
+    if n == 1:
+        return
+    from repro.fftcore.radix2 import bit_reverse_indices, stage_twiddles
+
+    half = n // 2
+    if half > 1:
+        bit_reverse_indices(half)
+        stage_twiddles(half)
+    _rfft_tables(n)
+    _irfft_twiddle(n)
+
 
 def rfft_real(x: np.ndarray) -> np.ndarray:
     """Real-input FFT along the last axis; returns ``n//2 + 1`` complex bins.
@@ -32,19 +91,15 @@ def rfft_real(x: np.ndarray) -> np.ndarray:
     n = ensure_power_of_two(x.shape[-1], "transform size")
     if n == 1:
         return x.astype(np.complex128)
-    half = n // 2
     # Pack even/odd samples into a half-length complex sequence.
     z = x[..., 0::2] + 1j * x[..., 1::2]
     zf = fft_radix2(z)
     # Unpack: split zf into the spectra of the even and odd subsequences.
-    k = np.arange(half + 1)
-    idx = k % half
-    ridx = (half - k) % half
+    idx, ridx, twiddle = _rfft_tables(n)
     zk = zf[..., idx]
     zrk = np.conj(zf[..., ridx])
     even_part = 0.5 * (zk + zrk)
     odd_part = -0.5j * (zk - zrk)
-    twiddle = np.exp(-2j * np.pi * k / n)
     return even_part + twiddle * odd_part
 
 
@@ -71,7 +126,7 @@ def irfft_real(xf: np.ndarray, n: int | None = None) -> np.ndarray:
     xk = xf[..., :half]
     xrk = np.conj(xf[..., half - k])
     even_part = 0.5 * (xk + xrk)
-    odd_part = 0.5 * (xk - xrk) * np.exp(2j * np.pi * k / n)
+    odd_part = 0.5 * (xk - xrk) * _irfft_twiddle(n)
     zf = even_part + 1j * odd_part
     z = ifft_radix2(zf)
     out = np.empty(xf.shape[:-1] + (n,), dtype=np.float64)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circulant.ops import block_dims
+from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.errors import ShapeError
 from repro.fftcore.backend import get_backend
 from repro.nn.im2col import col2im, conv_output_size, im2col
@@ -43,6 +44,9 @@ class BlockCirculantConv2D(Module):
                  bias: bool = True, seed=None, backend=None):
         super().__init__()
         ensure_positive(block_size, "block_size")
+        # Fail at construction, not first forward: raises BackendError with
+        # the known-backend list for typos like backend="fftw".
+        get_backend(backend)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.field = field
@@ -67,6 +71,7 @@ class BlockCirculantConv2D(Module):
         self._patch_blocks: np.ndarray | None = None
         self._geometry: tuple[int, int, int] | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
+        self.spectral_cache: SpectralWeightCache | None = None
 
     # -- metadata -----------------------------------------------------------
     @property
@@ -106,6 +111,24 @@ class BlockCirculantConv2D(Module):
         )
 
     # -- compute --------------------------------------------------------------
+    def compile_inference(self, cache: SpectralWeightCache | None = None):
+        """Freeze for serving: eval mode + warmed ``(r², p, q)`` spectrum.
+
+        Same contract as :meth:`BlockCirculantDense.compile_inference` —
+        the cache invalidates itself on weight updates, so compiling never
+        risks stale outputs. Returns self.
+        """
+        self.eval()
+        self.spectral_cache = cache if cache is not None else SpectralWeightCache()
+        self.spectral_cache.spectrum(self.weight, self.backend)
+        return self
+
+    def _weight_spectrum(self, be) -> np.ndarray:
+        """``rfft(weight)``, from the spectral cache when serving."""
+        if self.spectral_cache is None or self.training:
+            return be.rfft(self.weight.value)
+        return self.spectral_cache.spectrum(self.weight, be)
+
     def _partition_patches(self, patches: np.ndarray) -> np.ndarray:
         """(BN, r², C) -> zero-padded channel blocks (BN, r², qc, k)."""
         flat, r2, channels = patches.shape
@@ -137,9 +160,9 @@ class BlockCirculantConv2D(Module):
         )
         self._patch_blocks = self._partition_patches(patches)
         k = self.block_size
-        wf = be.rfft(self.weight.value)
+        wf = self._weight_spectrum(be)
         pf = be.rfft(self._patch_blocks)
-        yf = np.einsum("sijf,bsjf->bif", wf, pf)
+        yf = np.einsum("sijf,bsjf->bif", wf, pf, optimize=True)
         y_blocks = be.irfft(yf, n=k)
         out = y_blocks.reshape(batch * positions, self.pp * k)
         out = out[:, : self.out_channels]
@@ -174,11 +197,11 @@ class BlockCirculantConv2D(Module):
             padded[:, : self.out_channels] = grad_flat
             grad_flat = padded
         grad_blocks = grad_flat.reshape(batch * positions, self.pp, k)
-        wf = be.rfft(self.weight.value)
+        wf = self._weight_spectrum(be)
         pf = be.rfft(self._patch_blocks)
         gf = be.rfft(grad_blocks)
-        grad_wf = np.einsum("bif,bsjf->sijf", gf, np.conj(pf))
-        grad_pf = np.einsum("sijf,bif->bsjf", np.conj(wf), gf)
+        grad_wf = np.einsum("bif,bsjf->sijf", gf, np.conj(pf), optimize=True)
+        grad_pf = np.einsum("sijf,bif->bsjf", np.conj(wf), gf, optimize=True)
         self.weight.grad += be.irfft(grad_wf, n=k)
         grad_patches = be.irfft(grad_pf, n=k).reshape(
             batch * positions, self.field**2, self.qc * k

@@ -22,7 +22,9 @@ from repro.circulant.ops import (
     partition_vector,
     unpartition_vector,
 )
+from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.errors import ShapeError
+from repro.fftcore.backend import get_backend
 from repro.nn.initializers import zeros
 from repro.nn.module import Module
 from repro.utils.rng import make_rng
@@ -36,6 +38,9 @@ class BlockCirculantDense(Module):
                  bias: bool = True, seed=None, backend=None):
         super().__init__()
         ensure_positive(block_size, "block_size")
+        # Fail at construction, not first forward: raises BackendError with
+        # the known-backend list for typos like backend="fftw".
+        get_backend(backend)
         self.in_features = in_features
         self.out_features = out_features
         self.block_size = block_size
@@ -53,6 +58,7 @@ class BlockCirculantDense(Module):
             self.add_parameter("bias", zeros((out_features,))) if bias else None
         )
         self._input_blocks: np.ndarray | None = None
+        self.spectral_cache: SpectralWeightCache | None = None
 
     # -- metadata -----------------------------------------------------------
     @property
@@ -74,6 +80,26 @@ class BlockCirculantDense(Module):
         )
 
     # -- compute --------------------------------------------------------------
+    def compile_inference(self, cache: SpectralWeightCache | None = None):
+        """Freeze this layer for serving: eval mode + warmed weight spectrum.
+
+        Attaches (or shares) a :class:`SpectralWeightCache` and computes the
+        spectrum eagerly, so the first inference after compilation pays no
+        weight-FFT cost. The cache stays correct if the weights change —
+        the parameter version bump triggers a lazy recompute — so compiling
+        is always safe, never a staleness hazard. Returns self.
+        """
+        self.eval()
+        self.spectral_cache = cache if cache is not None else SpectralWeightCache()
+        self.spectral_cache.spectrum(self.weight, self.backend)
+        return self
+
+    def _weight_spectrum(self) -> np.ndarray | None:
+        """Cached ``rfft(weight)`` when serving from the spectral cache."""
+        if self.spectral_cache is None or self.training:
+            return None
+        return self.spectral_cache.spectrum(self.weight, self.backend)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -83,7 +109,8 @@ class BlockCirculantDense(Module):
             )
         self._input_blocks = partition_vector(x, self.block_size, self.q)
         out_blocks = block_circulant_forward(
-            self.weight.value, self._input_blocks, self.backend
+            self.weight.value, self._input_blocks, self.backend,
+            cached_spectrum=self._weight_spectrum(),
         )
         out = unpartition_vector(out_blocks, self.out_features)
         if self.bias is not None:
@@ -105,7 +132,8 @@ class BlockCirculantDense(Module):
         # output rows were dropped in forward, so their gradient is zero.
         grad_blocks = partition_vector(grad_output, self.block_size, self.p)
         grad_w, grad_x_blocks = block_circulant_backward(
-            self.weight.value, self._input_blocks, grad_blocks, self.backend
+            self.weight.value, self._input_blocks, grad_blocks, self.backend,
+            cached_spectrum=self._weight_spectrum(),
         )
         self.weight.grad += grad_w
         return unpartition_vector(grad_x_blocks, self.in_features)

@@ -6,11 +6,42 @@ import numpy as np
 
 
 class Parameter:
-    """A trainable tensor together with its accumulated gradient."""
+    """A trainable tensor together with its accumulated gradient.
+
+    The tensor is *versioned*: every assignment to ``value`` (including
+    augmented assignments such as ``param.value -= lr * grad``, which
+    Python rewrites as an assignment) bumps a monotonically increasing
+    ``version`` counter. Derived-quantity caches — e.g. the FFT-domain
+    :class:`~repro.circulant.spectral_cache.SpectralWeightCache` — compare
+    this counter to decide whether their cached view is still valid.
+
+    Element-wise writes that never reassign the attribute
+    (``param.value[0] = x``, ``param.value.fill(0)``) bypass the counter;
+    code that mutates the array in place must call :meth:`mark_updated`.
+    """
 
     def __init__(self, value: np.ndarray):
+        self._version = 0
         self.value = np.asarray(value, dtype=np.float64)
         self.grad = np.zeros_like(self.value)
+
+    @property
+    def value(self) -> np.ndarray:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: np.ndarray) -> None:
+        self._value = np.asarray(new_value, dtype=np.float64)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every assignment to ``value``."""
+        return self._version
+
+    def mark_updated(self) -> None:
+        """Bump ``version`` after an in-place element write to ``value``."""
+        self._version += 1
 
     @property
     def shape(self) -> tuple[int, ...]:

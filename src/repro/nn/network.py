@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.nn.module import Module, Parameter
 
 
@@ -45,6 +46,32 @@ class Sequential(Module):
         for layer in self.layers:
             layer.train(flag)
         return self
+
+    def compile_inference(
+        self, cache: SpectralWeightCache | None = None
+    ) -> "Sequential":
+        """Freeze the network for serving: the spectral inference engine.
+
+        Switches every layer to eval mode and shares one
+        :class:`SpectralWeightCache` across all block-circulant layers
+        (any layer exposing ``compile_inference``), precomputing each
+        weight spectrum so eval-mode forwards skip the weight FFT
+        entirely. Safe to call more than once and safe to keep training
+        afterwards: training-mode forwards bypass the cache, and weight
+        updates invalidate entries by parameter version. Returns self.
+        """
+        self._spectral_cache = cache if cache is not None else SpectralWeightCache()
+        self.eval()
+        for layer in self.layers:
+            compile_layer = getattr(layer, "compile_inference", None)
+            if compile_layer is not None:
+                compile_layer(self._spectral_cache)
+        return self
+
+    @property
+    def spectral_cache(self) -> SpectralWeightCache | None:
+        """The shared weight-spectrum cache, once compiled (else None)."""
+        return getattr(self, "_spectral_cache", None)
 
     def summary(self) -> str:
         """Human-readable per-layer listing with parameter counts."""

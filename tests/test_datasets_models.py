@@ -22,7 +22,6 @@ from repro.models import (
     build_lenet5,
     build_mlp,
     cifar10_convnet_spec,
-    default_alexnet_fc_plan,
     default_fig14_plans,
     default_lenet5_plan,
     lenet5_caffe_spec,
@@ -31,7 +30,7 @@ from repro.models import (
     svhn_convnet_spec,
 )
 from repro.models.descriptors import ConvSpec, DenseSpec, PoolSpec
-from repro.nn import BlockCirculantConv2D, BlockCirculantDense, Sequential
+from repro.nn import BlockCirculantConv2D, BlockCirculantDense
 
 
 class TestDatasets:

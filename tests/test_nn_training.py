@@ -14,7 +14,6 @@ from repro.nn import (
     ReLU,
     SGD,
     Sequential,
-    SoftmaxCrossEntropyLoss,
     Trainer,
 )
 from repro.nn.module import Parameter

@@ -1,0 +1,329 @@
+"""Tests for the spectral inference engine: SpectralWeightCache, the
+cached-spectrum kernel fast path, compile_inference, and the FFT
+plan/twiddle caches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circulant import (
+    SpectralWeightCache,
+    block_circulant_backward,
+    block_circulant_forward,
+    weight_spectrum,
+)
+from repro.errors import BackendError, ShapeError
+from repro.fftcore import clear_plan_caches, get_backend, get_plan
+from repro.fftcore.radix2 import bit_reverse_indices, stage_twiddles
+from repro.nn import (
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Dense,
+    Flatten,
+    Parameter,
+    ReLU,
+    Sequential,
+    SGD,
+)
+
+
+class TestParameterVersioning:
+    def test_assignment_bumps_version(self):
+        param = Parameter(np.zeros(4))
+        before = param.version
+        param.value = np.ones(4)
+        assert param.version == before + 1
+
+    def test_augmented_assignment_bumps_version(self):
+        # Optimizer steps are written as `param.value -= lr * grad`; Python
+        # rewrites that as an assignment, which must bump the counter.
+        param = Parameter(np.ones(4))
+        before = param.version
+        param.value -= 0.5
+        assert param.version == before + 1
+
+    def test_mark_updated(self):
+        param = Parameter(np.ones(4))
+        before = param.version
+        param.value[0] = 3.0  # element write: not auto-detected
+        param.mark_updated()
+        assert param.version == before + 1
+
+
+class TestCachedSpectrumKernels:
+    def test_forward_matches_uncached(self, rng):
+        w = rng.normal(size=(3, 5, 8))
+        x = rng.normal(size=(4, 5, 8))
+        wf = weight_spectrum(w)
+        np.testing.assert_allclose(
+            block_circulant_forward(w, x, cached_spectrum=wf),
+            block_circulant_forward(w, x),
+            atol=1e-12,
+        )
+
+    def test_backward_matches_uncached(self, rng):
+        w = rng.normal(size=(3, 5, 8))
+        x = rng.normal(size=(4, 5, 8))
+        g = rng.normal(size=(4, 3, 8))
+        wf = weight_spectrum(w)
+        gw_c, gx_c = block_circulant_backward(w, x, g, cached_spectrum=wf)
+        gw, gx = block_circulant_backward(w, x, g)
+        np.testing.assert_allclose(gw_c, gw, atol=1e-12)
+        np.testing.assert_allclose(gx_c, gx, atol=1e-12)
+
+    def test_numpy_radix2_spectral_product_agreement(self, rng):
+        # The same cached-spectrum product evaluated on both backends must
+        # agree — the backend-certification contract of the repo, extended
+        # to the fast path.
+        w = rng.normal(size=(4, 4, 16))
+        x = rng.normal(size=(3, 4, 16))
+        out_np = block_circulant_forward(
+            w, x, "numpy", cached_spectrum=weight_spectrum(w, "numpy")
+        )
+        out_r2 = block_circulant_forward(
+            w, x, "radix2", cached_spectrum=weight_spectrum(w, "radix2")
+        )
+        np.testing.assert_allclose(out_np, out_r2, atol=1e-9)
+
+    def test_cached_spectra_agree_across_backends(self, rng):
+        w = rng.normal(size=(2, 3, 8))
+        np.testing.assert_allclose(
+            weight_spectrum(w, "numpy"), weight_spectrum(w, "radix2"),
+            atol=1e-10,
+        )
+
+    def test_wrong_spectrum_shape_rejected(self, rng):
+        w = rng.normal(size=(3, 5, 8))
+        x = rng.normal(size=(4, 5, 8))
+        with pytest.raises(ShapeError):
+            block_circulant_forward(
+                w, x, cached_spectrum=np.zeros((3, 5, 8), dtype=complex)
+            )
+
+    def test_weight_spectrum_rejects_flat_input(self, rng):
+        with pytest.raises(ShapeError):
+            weight_spectrum(rng.normal(size=(5, 8)))
+
+
+class TestSpectralWeightCache:
+    def test_hit_returns_same_array(self, rng):
+        cache = SpectralWeightCache()
+        param = Parameter(rng.normal(size=(2, 2, 8)))
+        first = cache.spectrum(param)
+        second = cache.spectrum(param)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_returned_spectrum_is_readonly(self, rng):
+        cache = SpectralWeightCache()
+        param = Parameter(rng.normal(size=(2, 2, 8)))
+        spectrum = cache.spectrum(param)
+        with pytest.raises((ValueError, RuntimeError)):
+            spectrum[0, 0, 0] = 1.0
+
+    def test_fast_path_layout_is_blas_ready(self, rng):
+        # The cache stores frequency-major memory so the kernel's
+        # transpose(2, 0, 1) is a zero-copy C-contiguous view.
+        cache = SpectralWeightCache()
+        param = Parameter(rng.normal(size=(3, 5, 8)))
+        spectrum = cache.spectrum(param)
+        assert spectrum.transpose(2, 0, 1).flags["C_CONTIGUOUS"]
+        np.testing.assert_allclose(
+            spectrum, weight_spectrum(param.value), atol=1e-12
+        )
+
+    def test_invalidated_after_optimizer_step(self, rng):
+        layer = BlockCirculantDense(16, 16, 4, seed=0)
+        cache = SpectralWeightCache()
+        stale = cache.spectrum(layer.weight)
+        x = rng.normal(size=(2, 16))
+        layer.forward(x)
+        layer.zero_grad()
+        layer.backward(rng.normal(size=(2, 16)))
+        SGD(layer.parameters(), lr=0.5).step()
+        fresh = cache.spectrum(layer.weight)
+        assert cache.stats()["misses"] == 2
+        assert not np.allclose(stale, fresh)
+        np.testing.assert_allclose(
+            fresh, weight_spectrum(layer.weight.value), atol=1e-12
+        )
+
+    def test_entries_keyed_per_backend(self, rng):
+        cache = SpectralWeightCache()
+        param = Parameter(rng.normal(size=(2, 2, 8)))
+        cache.spectrum(param, "numpy")
+        cache.spectrum(param, "radix2")
+        assert len(cache) == 2
+
+    def test_invalidate_single_and_all(self, rng):
+        cache = SpectralWeightCache()
+        a = Parameter(rng.normal(size=(2, 2, 8)))
+        b = Parameter(rng.normal(size=(2, 2, 8)))
+        cache.spectrum(a)
+        cache.spectrum(b)
+        cache.invalidate(a)
+        assert len(cache) == 1
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_conv_weight_spectrum_cached(self, rng):
+        layer = BlockCirculantConv2D(4, 4, 3, block_size=2, seed=0)
+        cache = SpectralWeightCache()
+        spectrum = cache.spectrum(layer.weight)
+        assert spectrum.shape == (9, 2, 2, 2)  # (r², pp, qc, k//2+1)
+        assert cache.spectrum(layer.weight) is spectrum
+
+
+class TestCompileInference:
+    def test_dense_layer_output_equality(self, rng):
+        layer = BlockCirculantDense(20, 12, 4, seed=3)
+        x = rng.normal(size=(5, 20))
+        expected = layer.eval().forward(x)
+        layer.compile_inference()
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-12)
+        assert layer.spectral_cache.stats()["hits"] >= 1
+
+    def test_network_output_equality(self, rng):
+        net = Sequential(
+            BlockCirculantConv2D(3, 8, 3, block_size=4, padding=1, seed=0),
+            ReLU(),
+            Flatten(),
+            BlockCirculantDense(8 * 6 * 6, 32, 8, seed=1),
+            ReLU(),
+            Dense(32, 10, seed=2),
+        )
+        x = rng.normal(size=(2, 3, 6, 6))
+        expected = net.eval()(x)
+        net.compile_inference()
+        np.testing.assert_allclose(net(x), expected, atol=1e-12)
+
+    def test_cache_shared_across_layers(self):
+        net = Sequential(
+            BlockCirculantDense(16, 16, 4, seed=0),
+            ReLU(),
+            BlockCirculantDense(16, 8, 4, seed=1),
+        )
+        net.compile_inference()
+        assert net.layers[0].spectral_cache is net.spectral_cache
+        assert net.layers[2].spectral_cache is net.spectral_cache
+        assert len(net.spectral_cache) == 2
+
+    def test_training_after_compile_stays_correct(self, rng):
+        # compile, then train a step, then eval again: the version bump
+        # must refresh the spectrum so outputs track the new weights.
+        net = Sequential(BlockCirculantDense(16, 16, 4, seed=0))
+        x = rng.normal(size=(3, 16))
+        net.compile_inference()
+        before = net(x)
+        net.train()
+        out = net(x)
+        net.zero_grad()
+        net.backward(out - rng.normal(size=out.shape))
+        SGD(net.parameters(), lr=0.2).step()
+        net.eval()
+        after = net(x)
+        assert not np.allclose(after, before)
+        layer = net.layers[0]
+        cache = layer.spectral_cache
+        layer.spectral_cache = None
+        try:
+            uncached = net(x)
+        finally:
+            layer.spectral_cache = cache
+        np.testing.assert_allclose(after, uncached, atol=1e-12)
+
+    def test_training_mode_bypasses_cache(self, rng):
+        layer = BlockCirculantDense(16, 16, 4, seed=0)
+        layer.compile_inference()
+        hits_before = layer.spectral_cache.stats()["hits"]
+        layer.train()
+        layer.forward(rng.normal(size=(2, 16)))
+        assert layer.spectral_cache.stats()["hits"] == hits_before
+
+    def test_compile_on_radix2_backend(self, rng):
+        layer_np = BlockCirculantDense(16, 16, 4, seed=7)
+        layer_r2 = BlockCirculantDense(16, 16, 4, seed=7, backend="radix2")
+        x = rng.normal(size=(2, 16))
+        layer_np.compile_inference()
+        layer_r2.compile_inference()
+        np.testing.assert_allclose(
+            layer_np.forward(x), layer_r2.forward(x), atol=1e-9
+        )
+
+
+class TestBackendValidationAtConstruction:
+    def test_dense_rejects_unknown_backend(self):
+        with pytest.raises(BackendError) as exc:
+            BlockCirculantDense(8, 8, 4, backend="fftw")
+        assert "numpy" in str(exc.value) and "radix2" in str(exc.value)
+
+    def test_conv_rejects_unknown_backend(self):
+        with pytest.raises(BackendError) as exc:
+            BlockCirculantConv2D(4, 4, 3, block_size=2, backend="fftw")
+        assert "numpy" in str(exc.value) and "radix2" in str(exc.value)
+
+    def test_known_backends_accepted(self):
+        BlockCirculantDense(8, 8, 4, backend="numpy")
+        BlockCirculantDense(8, 8, 4, backend="radix2")
+        BlockCirculantDense(8, 8, 4, backend=None)
+
+
+class TestPlanAndTwiddleCaches:
+    def test_get_plan_memoised(self):
+        assert get_plan(64) is get_plan(64)
+
+    def test_backend_plan_cache(self):
+        backend = get_backend("radix2")
+        before = backend.plan_cache_size()
+        plan = backend.plan(4096)
+        assert backend.plan(4096) is plan
+        assert backend.plan_cache_size() >= before
+
+    def test_backend_plan_warms_all_tables(self):
+        # The serving warm-up contract: plan(n) must materialise every
+        # constant table a size-n fft/rfft/irfft will read, including the
+        # half-size complex tables of the real-FFT packing trick.
+        from repro.fftcore.radix2 import _BIT_REVERSE_CACHE, _STAGE_TWIDDLE_CACHE
+        from repro.fftcore.real import _IRFFT_TABLE_CACHE, _RFFT_TABLE_CACHE
+
+        clear_plan_caches()
+        get_backend("radix2").plan(64)
+        assert 64 in _BIT_REVERSE_CACHE and 64 in _STAGE_TWIDDLE_CACHE
+        assert 32 in _BIT_REVERSE_CACHE and 32 in _STAGE_TWIDDLE_CACHE
+        assert 64 in _RFFT_TABLE_CACHE and 64 in _IRFFT_TABLE_CACHE
+
+    def test_stage_twiddles_cached_and_correct(self):
+        tables = stage_twiddles(16)
+        assert stage_twiddles(16) is tables
+        assert [t.shape[0] for t in tables] == [1, 2, 4, 8]
+        np.testing.assert_allclose(
+            tables[-1], np.exp(-2j * np.pi * np.arange(8) / 16), atol=1e-12
+        )
+
+    def test_cached_tables_are_readonly(self):
+        assert not bit_reverse_indices(32).flags.writeable
+        assert not stage_twiddles(32)[-1].flags.writeable
+
+    def test_radix2_results_unchanged_by_caching(self, rng):
+        # Transform twice (cold cache, then warm) and against numpy.
+        clear_plan_caches()
+        be = get_backend("radix2")
+        x = rng.normal(size=(3, 64))
+        cold = be.rfft(x)
+        warm = be.rfft(x)
+        np.testing.assert_allclose(cold, warm, atol=0)
+        np.testing.assert_allclose(cold, np.fft.rfft(x), atol=1e-10)
+
+    def test_clear_plan_caches(self):
+        backend = get_backend("radix2")
+        backend.plan(128)
+        clear_plan_caches()
+        assert backend.plan_cache_size() == 0
+        # Caches repopulate transparently afterwards.
+        assert backend.plan(128).n == 128
+
+    def test_plan_twiddle_table_matches_rom(self):
+        plan = get_plan(32)
+        assert plan.twiddle_table() is stage_twiddles(32)
+        assert plan.bit_reversal() is bit_reverse_indices(32)
