@@ -7,22 +7,31 @@
   divide the shape), storage accounting, and dense round-trips.
 - :mod:`repro.circulant.ops` — the batched FFT-domain kernels behind
   Algorithms 1 and 2: forward ``a_i = Σ_j IFFT(FFT(w_ij) ∘ FFT(x_j))`` and
-  the two backward products, vectorised over a batch.
+  the two backward products, vectorised over a batch. FC
+  (:func:`block_circulant_forward`) and CONV
+  (:func:`block_circulant_conv_forward`) share one per-frequency BLAS
+  contraction, :func:`spectral_contract`, and both take a
+  ``cached_spectrum=`` produced by :func:`weight_spectrum`.
 - :mod:`repro.circulant.projection` — least-squares projection of a dense
   matrix onto the (block-)circulant set, used to initialise compressed
   layers from dense ones and by the baselines.
-- :mod:`repro.circulant.spectral_cache` — precomputed weight spectra keyed
-  by parameter version, the serving-path amortisation of the weight FFT.
+- :mod:`repro.circulant.spectral_cache` — :class:`SpectralWeightCache`,
+  the serving-path amortisation of the weight FFT: precomputed,
+  frequency-major weight spectra invalidated by
+  :class:`~repro.nn.module.Parameter` version, shared across layers by
+  ``Sequential.compile_inference()``.
 """
 
 from repro.circulant.circulant import CirculantMatrix
 from repro.circulant.block import BlockCirculantMatrix
 from repro.circulant.ops import (
     block_circulant_backward,
+    block_circulant_conv_forward,
     block_circulant_forward,
     block_dims,
     expand_to_dense,
     partition_vector,
+    spectral_contract,
     unpartition_vector,
     weight_spectrum,
 )
@@ -38,6 +47,8 @@ __all__ = [
     "BlockCirculantMatrix",
     "block_circulant_forward",
     "block_circulant_backward",
+    "block_circulant_conv_forward",
+    "spectral_contract",
     "block_dims",
     "expand_to_dense",
     "partition_vector",

@@ -20,6 +20,12 @@ writes the backward
 pass with an index-reversed ``x'``; for real signals that reversal equals
 the complex conjugate in the frequency domain, which is what we use.)
 
+The same structure covers the CONV layer (paper Eq. 7): at each of the
+``r²`` spatial offsets the cross-channel weight matrix is block-circulant,
+and :func:`block_circulant_conv_forward` folds the offset axis into the
+contracted dimension so FC and CONV share one spectral-contraction kernel,
+:func:`spectral_contract`.
+
 All functions accept an FFT ``backend`` name so every experiment can be
 replayed on the from-scratch radix-2 kernel, and a ``cached_spectrum=``
 fast path that consumes a precomputed :func:`weight_spectrum` — weights
@@ -105,6 +111,56 @@ def weight_spectrum(w: np.ndarray, backend=None) -> np.ndarray:
     return be.rfft(w)
 
 
+def spectral_contract(wf: np.ndarray, xf: np.ndarray) -> np.ndarray:
+    """The one spectral-contraction kernel shared by the FC and CONV layers.
+
+    Evaluates the half-spectrum weight/activation product as one complex
+    BLAS GEMM per frequency bin, arranged frequency-major:
+
+    - **FC** (Algorithm 1): ``wf`` has shape ``(p, q, f)``, ``xf`` has
+      shape ``(batch, q, f)``, and the result ``(batch, p, f)`` equals the
+      einsum ``"pqf,bqf->bpf"`` — evaluated as ``(f, p, q) @ (f, q, batch)``.
+    - **CONV** (paper Eq. 7): ``wf`` has shape ``(r², p, q, f)`` — one
+      cross-channel block grid per spatial offset — ``xf`` has shape
+      ``(batch, r², q, f)``, and the result ``(batch, p, f)`` equals the
+      einsum ``"sijf,bsjf->bif"``. The spatial-offset axis folds into the
+      contracted dimension, so the CONV product is the *same*
+      frequency-major GEMM with ``r²·q`` columns — which is what lets one
+      kernel (and one cached-spectrum layout) serve both layer types.
+
+    When ``wf`` comes from
+    :class:`~repro.circulant.spectral_cache.SpectralWeightCache` its memory
+    is already frequency-major, so the transposes below are zero-copy
+    views; only the activation spectrum (fresh from the batch FFT) is
+    rearranged per call.
+    """
+    if wf.ndim == 3:
+        if xf.ndim != 3 or xf.shape[1:] != wf.shape[1:]:
+            raise ShapeError(
+                f"activation spectrum must be (batch, {wf.shape[1]}, "
+                f"{wf.shape[2]}), got {xf.shape}"
+            )
+        # (f, p, q) @ (f, q, batch) -> (f, p, batch).
+        af = np.matmul(wf.transpose(2, 0, 1), xf.transpose(2, 1, 0))
+        return af.transpose(2, 1, 0)
+    if wf.ndim == 4:
+        s, p, q, f = wf.shape
+        if xf.ndim != 4 or xf.shape[1:] != (s, q, f):
+            raise ShapeError(
+                f"activation spectrum must be (batch, {s}, {q}, {f}), "
+                f"got {xf.shape}"
+            )
+        batch = xf.shape[0]
+        # Fold (offset, block-column) into one contracted axis of length
+        # s*q: (f, p, s*q) @ (f, s*q, batch) -> (f, p, batch).
+        lhs = wf.transpose(3, 1, 0, 2).reshape(f, p, s * q)
+        rhs = xf.transpose(3, 1, 2, 0).reshape(f, s * q, batch)
+        return np.matmul(lhs, rhs).transpose(2, 1, 0)
+    raise ShapeError(
+        f"weight spectrum must be (p, q, f) or (r², p, q, f), got {wf.shape}"
+    )
+
+
 def block_circulant_forward(
     w: np.ndarray, x_blocks: np.ndarray, backend=None, *,
     cached_spectrum: np.ndarray | None = None,
@@ -137,10 +193,60 @@ def block_circulant_forward(
         wf = cached_spectrum
         _check_spectrum_shape(wf, w.shape)
     xf = be.rfft(x_blocks)
-    # einsum("pqf,bqf->bpf") evaluated as one BLAS zgemm per frequency bin:
-    # (f, p, q) @ (f, q, batch) -> (f, p, batch).
-    af = np.matmul(wf.transpose(2, 0, 1), xf.transpose(2, 1, 0))
-    return be.irfft(af.transpose(2, 1, 0), n=k)
+    return be.irfft(spectral_contract(wf, xf), n=k)
+
+
+def block_circulant_conv_forward(
+    w: np.ndarray, patch_blocks: np.ndarray, backend=None, *,
+    cached_spectrum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Paper Eq. 7: the CONV layer's per-spatial-offset spectral product.
+
+    After im2col, a block-circulant convolution is ``r²`` independent
+    cross-channel block-circulant products summed over the spatial
+    offsets. This kernel evaluates all of them at once through
+    :func:`spectral_contract` — the same frequency-major per-frequency
+    BLAS GEMM the FC layer uses, with the offset axis folded into the
+    contraction.
+
+    Parameters
+    ----------
+    w:
+        Defining vectors, shape ``(r², p, q, k)`` — one ``(p, q)`` grid of
+        length-``k`` first columns per spatial offset.
+    patch_blocks:
+        im2col patches partitioned into channel blocks, shape
+        ``(batch·positions, r², q, k)``.
+    cached_spectrum:
+        Optional precomputed ``rfft(w)`` of shape ``(r², p, q, k//2 + 1)``
+        (see :func:`weight_spectrum`). When given — normally from
+        :class:`~repro.circulant.spectral_cache.SpectralWeightCache`,
+        whose frequency-major layout makes the contraction zero-copy —
+        the ``r²·p·q`` weight FFTs are skipped entirely, which dominates
+        the cost for inference-sized batches.
+
+    Returns
+    -------
+    Output channel blocks, shape ``(batch·positions, p, k)``.
+    """
+    be = get_backend(backend)
+    w = np.asarray(w, dtype=np.float64)
+    patch_blocks = np.asarray(patch_blocks, dtype=np.float64)
+    if w.ndim != 4:
+        raise ShapeError(f"weights must be (r², p, q, k), got shape {w.shape}")
+    s, p, q, k = w.shape
+    if patch_blocks.ndim != 4 or patch_blocks.shape[1:] != (s, q, k):
+        raise ShapeError(
+            f"patch blocks must be (batch, {s}, {q}, {k}), "
+            f"got {patch_blocks.shape}"
+        )
+    if cached_spectrum is None:
+        wf = be.rfft(w)
+    else:
+        wf = cached_spectrum
+        _check_spectrum_shape(wf, w.shape)
+    pf = be.rfft(patch_blocks)
+    return be.irfft(spectral_contract(wf, pf), n=k)
 
 
 def block_circulant_backward(
@@ -231,8 +337,9 @@ def expand_to_dense(w: np.ndarray, m: int | None = None,
 
 
 def _check_spectrum_shape(wf: np.ndarray, w_shape: tuple[int, ...]) -> None:
-    p, q, k = w_shape
-    expected = (p, q, k // 2 + 1)
+    # Works for both layer types: (p, q, k) FC grids and (r², p, q, k)
+    # CONV grids — rfft replaces the trailing k with k//2 + 1 bins.
+    expected = (*w_shape[:-1], w_shape[-1] // 2 + 1)
     if wf.shape != expected:
         raise ShapeError(
             f"cached spectrum must have shape {expected} for weights "

@@ -64,8 +64,12 @@ class SpectralWeightCache:
         """The cached half-spectrum of ``param.value``; recompute if stale.
 
         ``param`` is a :class:`~repro.nn.module.Parameter` holding
-        ``(p, q, k)`` defining vectors. The returned array is read-only
-        and has shape ``(p, q, k//2 + 1)``.
+        defining vectors — ``(p, q, k)`` for an FC layer or
+        ``(r², p, q, k)`` for a CONV layer. The returned array is
+        read-only, replaces the last axis with ``k//2 + 1`` complex bins,
+        and is laid out frequency-major in memory so the per-frequency
+        GEMM of :func:`repro.circulant.ops.spectral_contract` consumes it
+        with zero copies.
         """
         be = get_backend(backend)
         key = (id(param), be.name)
@@ -83,6 +87,14 @@ class SpectralWeightCache:
             spectrum = np.ascontiguousarray(
                 spectrum.transpose(2, 0, 1)
             ).transpose(1, 2, 0)
+        elif spectrum.ndim == 4:
+            # CONV spectra (r², p, q, f): store (f, p, r², q)-contiguous
+            # memory behind the natural view, so spectral_contract's
+            # transpose(3, 1, 0, 2).reshape(f, p, r²·q) is a zero-copy
+            # view straight into the per-frequency GEMM.
+            spectrum = np.ascontiguousarray(
+                spectrum.transpose(3, 1, 0, 2)
+            ).transpose(2, 1, 3, 0)
         spectrum.setflags(write=False)
         self._entries[key] = _CacheEntry(spectrum, param.version)
         self._owners[id(param)] = param

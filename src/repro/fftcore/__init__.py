@@ -12,10 +12,18 @@ This package reimplements that kernel in software:
   outputs (Fig 10, "red circles need not be calculated").
 - :mod:`repro.fftcore.plan` — the recursive decomposition of Fig 9: a
   size-n FFT executed as two size-n/2 FFTs plus one butterfly stage.
+  :func:`get_plan` memoises one :class:`FFTPlan` per transform size;
+  ``FFTPlan.warm()`` materialises its bit-reversal permutation, stage
+  twiddles and real-transform tables into shared read-only caches.
 - :mod:`repro.fftcore.ops_count` — exact butterfly / real-operation /
   memory-traffic counts consumed by the architecture simulator.
-- :mod:`repro.fftcore.backend` — a pluggable backend so the numerically
-  identical ``numpy.fft`` implementation can be swapped in for speed.
+- :mod:`repro.fftcore.backend` — pluggable backends (:func:`get_backend`,
+  :func:`set_default_backend`): the numerically identical ``numpy.fft``
+  implementation for speed, or the from-scratch radix-2 kernels. Each
+  backend keeps a per-size plan cache (:meth:`FFTBackend.plan`) so the
+  radix-2 path never rebuilds twiddle tables — the warm-up contract the
+  spectral inference engine relies on. :func:`clear_plan_caches` resets
+  every plan/twiddle/real-FFT table cache in the process.
 """
 
 from repro.fftcore.reference import dft_direct, idft_direct

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circulant.ops import block_dims
+from repro.circulant.ops import block_circulant_conv_forward, block_dims
 from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.errors import ShapeError
 from repro.fftcore.backend import get_backend
@@ -123,11 +123,13 @@ class BlockCirculantConv2D(Module):
         self.spectral_cache.spectrum(self.weight, self.backend)
         return self
 
-    def _weight_spectrum(self, be) -> np.ndarray:
-        """``rfft(weight)``, from the spectral cache when serving."""
+    def _weight_spectrum(self, be=None) -> np.ndarray | None:
+        """Cached ``rfft(weight)`` when serving from the spectral cache."""
         if self.spectral_cache is None or self.training:
-            return be.rfft(self.weight.value)
-        return self.spectral_cache.spectrum(self.weight, be)
+            return None
+        return self.spectral_cache.spectrum(
+            self.weight, be if be is not None else self.backend
+        )
 
     def _partition_patches(self, patches: np.ndarray) -> np.ndarray:
         """(BN, r², C) -> zero-padded channel blocks (BN, r², qc, k)."""
@@ -160,10 +162,13 @@ class BlockCirculantConv2D(Module):
         )
         self._patch_blocks = self._partition_patches(patches)
         k = self.block_size
-        wf = self._weight_spectrum(be)
-        pf = be.rfft(self._patch_blocks)
-        yf = np.einsum("sijf,bsjf->bif", wf, pf, optimize=True)
-        y_blocks = be.irfft(yf, n=k)
+        # Same contraction kernel as BlockCirculantDense: one complex BLAS
+        # GEMM per frequency bin, weight FFT skipped when a cached
+        # spectrum is being served.
+        y_blocks = block_circulant_conv_forward(
+            self.weight.value, self._patch_blocks, be,
+            cached_spectrum=self._weight_spectrum(be),
+        )
         out = y_blocks.reshape(batch * positions, self.pp * k)
         out = out[:, : self.out_channels]
         if self.bias is not None:
@@ -198,6 +203,8 @@ class BlockCirculantConv2D(Module):
             grad_flat = padded
         grad_blocks = grad_flat.reshape(batch * positions, self.pp, k)
         wf = self._weight_spectrum(be)
+        if wf is None:
+            wf = be.rfft(self.weight.value)
         pf = be.rfft(self._patch_blocks)
         gf = be.rfft(grad_blocks)
         grad_wf = np.einsum("bif,bsjf->sijf", gf, np.conj(pf), optimize=True)

@@ -53,12 +53,18 @@ class Sequential(Module):
         """Freeze the network for serving: the spectral inference engine.
 
         Switches every layer to eval mode and shares one
-        :class:`SpectralWeightCache` across all block-circulant layers
-        (any layer exposing ``compile_inference``), precomputing each
-        weight spectrum so eval-mode forwards skip the weight FFT
-        entirely. Safe to call more than once and safe to keep training
-        afterwards: training-mode forwards bypass the cache, and weight
-        updates invalidate entries by parameter version. Returns self.
+        :class:`SpectralWeightCache` across all block-circulant layers —
+        FC (:class:`~repro.nn.BlockCirculantDense`) and CONV
+        (:class:`~repro.nn.BlockCirculantConv2D`) alike, plus any nested
+        ``Sequential`` and any other layer exposing ``compile_inference``
+        — precomputing each weight spectrum so eval-mode forwards skip
+        the weight FFT entirely. Safe to call more than once and safe to
+        keep training afterwards: training-mode forwards bypass the
+        cache, and weight updates invalidate entries by parameter
+        version. Quantised serving composes the same way:
+        ``quantized_view(net, bits, bits).compile_inference()`` warms
+        spectra from the fake-quantised weights (see
+        ``docs/spectral_engine.md``). Returns self.
         """
         self._spectral_cache = cache if cache is not None else SpectralWeightCache()
         self.eval()

@@ -14,6 +14,18 @@ representations"). This module simulates that end to end:
 - :func:`accuracy_vs_bits` measures the accuracy-vs-word-length curve —
   the experiment behind the paper's observation that 16-bit is accurate
   while 4-bit collapses (<20% top-1 for AlexNet, §5.2).
+
+Quantised serving
+-----------------
+``quantized_view(net, 16, 16).compile_inference()`` is the fixed-point
+serving mode: the view's block-circulant layers join one
+:class:`~repro.circulant.spectral_cache.SpectralWeightCache`, so each
+weight spectrum is computed **once from the fake-quantised defining
+vectors** and reused on every request. Re-quantising mid-serving
+(:func:`quantize_network_weights` on the view, e.g. to drop to the 4-bit
+near-threshold mode) reassigns every ``Parameter.value``, which bumps the
+version counters and lazily invalidates the cached spectra — no explicit
+cache management needed. See ``docs/spectral_engine.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +72,24 @@ class ActivationQuantizer(Module):
         return f"ActivationQuantizer(bits={self.total_bits})"
 
 
+def _detach_spectral_state(module: Module) -> None:
+    """Drop spectral-cache state deep-copied from a compiled original.
+
+    ``copy.deepcopy`` clones any attached
+    :class:`~repro.circulant.spectral_cache.SpectralWeightCache` along
+    with the layers, but the clone's entries are keyed by the *original*
+    parameters' ids — dead weight at best, an id-reuse hazard at worst.
+    A quantised view starts uncompiled; callers opt into serving with
+    ``view.compile_inference()``.
+    """
+    if hasattr(module, "_spectral_cache"):
+        del module._spectral_cache
+    if getattr(module, "spectral_cache", None) is not None:
+        module.spectral_cache = None
+    for child in getattr(module, "layers", ()):
+        _detach_spectral_state(child)
+
+
 def quantized_view(network: Sequential, weight_bits: int,
                    activation_bits: int | None = None) -> Sequential:
     """A quantised deep copy of a trained network.
@@ -67,9 +97,16 @@ def quantized_view(network: Sequential, weight_bits: int,
     Weights are rounded to ``weight_bits``; when ``activation_bits`` is
     given, an :class:`ActivationQuantizer` follows every original layer so
     the inter-layer data stream carries the datapath precision too.
-    The original network is left untouched.
+    The original network is left untouched (including any spectral cache
+    it was compiled with — the view carries none).
+
+    For fixed-point serving, chain ``.compile_inference()``: the view
+    freezes in eval mode and every block-circulant layer's spectrum is
+    computed once from the quantised defining vectors (see the module
+    docstring).
     """
     clone = copy.deepcopy(network)
+    _detach_spectral_state(clone)
     quantize_network_weights(clone, weight_bits)
     if activation_bits is None:
         return clone

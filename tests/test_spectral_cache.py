@@ -10,7 +10,9 @@ import pytest
 from repro.circulant import (
     SpectralWeightCache,
     block_circulant_backward,
+    block_circulant_conv_forward,
     block_circulant_forward,
+    spectral_contract,
     weight_spectrum,
 )
 from repro.errors import BackendError, ShapeError
@@ -106,6 +108,66 @@ class TestCachedSpectrumKernels:
             weight_spectrum(rng.normal(size=(5, 8)))
 
 
+class TestSpectralContract:
+    """The shared FC/CONV contraction kernel of repro.circulant.ops."""
+
+    def test_dense_matches_einsum(self, rng):
+        wf = np.fft.rfft(rng.normal(size=(3, 5, 8)))
+        xf = np.fft.rfft(rng.normal(size=(4, 5, 8)))
+        np.testing.assert_allclose(
+            spectral_contract(wf, xf),
+            np.einsum("pqf,bqf->bpf", wf, xf),
+            atol=1e-12,
+        )
+
+    def test_conv_matches_einsum(self, rng):
+        wf = np.fft.rfft(rng.normal(size=(9, 3, 5, 8)))
+        pf = np.fft.rfft(rng.normal(size=(4, 9, 5, 8)))
+        np.testing.assert_allclose(
+            spectral_contract(wf, pf),
+            np.einsum("sijf,bsjf->bif", wf, pf),
+            atol=1e-12,
+        )
+
+    def test_rejects_mismatched_shapes(self, rng):
+        wf = np.zeros((3, 5, 8), dtype=complex)
+        with pytest.raises(ShapeError):
+            spectral_contract(wf, np.zeros((4, 6, 8), dtype=complex))
+        with pytest.raises(ShapeError):
+            spectral_contract(np.zeros((5, 8), dtype=complex),
+                              np.zeros((4, 5, 8), dtype=complex))
+
+    def test_conv_forward_cached_matches_uncached(self, rng):
+        w = rng.normal(size=(9, 3, 5, 8))
+        patches = rng.normal(size=(6, 9, 5, 8))
+        wf = weight_spectrum(w)
+        np.testing.assert_allclose(
+            block_circulant_conv_forward(w, patches, cached_spectrum=wf),
+            block_circulant_conv_forward(w, patches),
+            atol=1e-12,
+        )
+
+    def test_conv_forward_backend_agreement(self, rng):
+        w = rng.normal(size=(4, 2, 3, 16))
+        patches = rng.normal(size=(3, 4, 3, 16))
+        out_np = block_circulant_conv_forward(
+            w, patches, "numpy", cached_spectrum=weight_spectrum(w, "numpy")
+        )
+        out_r2 = block_circulant_conv_forward(
+            w, patches, "radix2", cached_spectrum=weight_spectrum(w, "radix2")
+        )
+        np.testing.assert_allclose(out_np, out_r2, atol=1e-9)
+
+    def test_conv_wrong_spectrum_shape_rejected(self, rng):
+        w = rng.normal(size=(9, 3, 5, 8))
+        patches = rng.normal(size=(6, 9, 5, 8))
+        with pytest.raises(ShapeError):
+            block_circulant_conv_forward(
+                w, patches, cached_spectrum=np.zeros((9, 3, 5, 8),
+                                                     dtype=complex)
+            )
+
+
 class TestSpectralWeightCache:
     def test_hit_returns_same_array(self, rng):
         cache = SpectralWeightCache()
@@ -174,6 +236,20 @@ class TestSpectralWeightCache:
         assert spectrum.shape == (9, 2, 2, 2)  # (r², pp, qc, k//2+1)
         assert cache.spectrum(layer.weight) is spectrum
 
+    def test_conv_fast_path_layout_is_blas_ready(self, rng):
+        # CONV spectra are stored (f, p, r², q)-contiguous so the shared
+        # kernel's transpose + fold-into-GEMM reshape is a zero-copy view.
+        cache = SpectralWeightCache()
+        param = Parameter(rng.normal(size=(9, 3, 5, 8)))
+        spectrum = cache.spectrum(param)
+        s, p, q, f = spectrum.shape
+        folded = spectrum.transpose(3, 1, 0, 2)
+        assert folded.flags["C_CONTIGUOUS"]
+        assert folded.reshape(f, p, s * q).base is not None  # view, no copy
+        np.testing.assert_allclose(
+            spectrum, weight_spectrum(param.value), atol=1e-12
+        )
+
 
 class TestCompileInference:
     def test_dense_layer_output_equality(self, rng):
@@ -197,6 +273,51 @@ class TestCompileInference:
         expected = net.eval()(x)
         net.compile_inference()
         np.testing.assert_allclose(net(x), expected, atol=1e-12)
+
+    def test_conv_layer_bit_identical(self, rng):
+        # The compiled CONV forward and the eager eval forward run the
+        # same shared GEMM kernel on identically-laid-out spectra, so
+        # the outputs must agree to the last bit, not just to tolerance.
+        layer = BlockCirculantConv2D(6, 10, 3, block_size=4, padding=1,
+                                     seed=3)
+        x = rng.normal(size=(2, 6, 5, 5))
+        expected = layer.eval().forward(x)
+        layer.compile_inference()
+        np.testing.assert_array_equal(layer.forward(x), expected)
+        assert layer.spectral_cache.stats()["hits"] >= 1
+
+    def test_conv_compile_on_radix2_backend(self, rng):
+        layer_np = BlockCirculantConv2D(4, 4, 3, block_size=2, seed=5)
+        layer_r2 = BlockCirculantConv2D(4, 4, 3, block_size=2, seed=5,
+                                        backend="radix2")
+        x = rng.normal(size=(2, 4, 4, 4))
+        layer_np.compile_inference()
+        layer_r2.compile_inference()
+        np.testing.assert_allclose(
+            layer_np.forward(x), layer_r2.forward(x), atol=1e-9
+        )
+
+    def test_conv_training_after_compile_stays_correct(self, rng):
+        layer = BlockCirculantConv2D(4, 4, 3, block_size=2, padding=1,
+                                     seed=0)
+        x = rng.normal(size=(2, 4, 4, 4))
+        layer.compile_inference()
+        before = layer.forward(x)
+        layer.train()
+        out = layer.forward(x)
+        layer.zero_grad()
+        layer.backward(out)
+        SGD(layer.parameters(), lr=0.3).step()
+        layer.eval()
+        after = layer.forward(x)
+        assert not np.allclose(after, before)
+        cache = layer.spectral_cache
+        layer.spectral_cache = None
+        try:
+            eager = layer.forward(x)
+        finally:
+            layer.spectral_cache = cache
+        np.testing.assert_array_equal(after, eager)
 
     def test_cache_shared_across_layers(self):
         net = Sequential(
@@ -250,6 +371,83 @@ class TestCompileInference:
         np.testing.assert_allclose(
             layer_np.forward(x), layer_r2.forward(x), atol=1e-9
         )
+
+
+class TestQuantizedServing:
+    """The fixed-point serving mode: quantized_view(...).compile_inference()."""
+
+    @staticmethod
+    def _network():
+        return Sequential(
+            BlockCirculantConv2D(3, 8, 3, block_size=4, padding=1, seed=0),
+            ReLU(),
+            Flatten(),
+            BlockCirculantDense(8 * 6 * 6, 16, 8, seed=1),
+        )
+
+    def test_compiled_view_bit_identical(self, rng):
+        from repro.quant import quantized_view
+
+        net = self._network()
+        x = rng.normal(size=(2, 3, 6, 6))
+        view = quantized_view(net, 16, 16)
+        expected = view.eval()(x)
+        view.compile_inference()
+        np.testing.assert_array_equal(view(x), expected)
+        # Both block-circulant layers joined the shared cache.
+        assert len(view.spectral_cache) == 2
+
+    def test_view_carries_no_cache_from_compiled_original(self, rng):
+        from repro.quant import quantized_view
+
+        net = self._network().compile_inference()
+        view = quantized_view(net, 16)
+        assert view.spectral_cache is None
+        for layer in view.layers:
+            assert getattr(layer, "spectral_cache", None) is None
+        # The original keeps serving from its own (unquantised) cache.
+        assert net.spectral_cache is not None
+        assert len(net.spectral_cache) == 2
+
+    def test_spectra_computed_from_quantised_weights(self, rng):
+        from repro.quant import quantized_view
+
+        net = self._network()
+        view = quantized_view(net, 6).compile_inference()
+        layer = view.layers[0]
+        np.testing.assert_array_equal(
+            view.spectral_cache.spectrum(layer.weight, layer.backend),
+            weight_spectrum(layer.weight.value),
+        )
+
+    def test_format_change_mid_serving_refreshes_spectra(self, rng):
+        # Re-quantising the served view (e.g. dropping from the 16-bit
+        # datapath to the 4-bit near-threshold mode) reassigns every
+        # Parameter.value; the version bump must lazily refresh the
+        # cached spectra so compiled outputs track the new format.
+        from repro.quant import quantize_network_weights, quantized_view
+
+        net = self._network()
+        x = rng.normal(size=(2, 3, 6, 6))
+        view = quantized_view(net, 16, 16).compile_inference()
+        out16 = view(x)
+        misses_before = view.spectral_cache.stats()["misses"]
+        quantize_network_weights(view, 6)
+        out6 = view(x)
+        assert view.spectral_cache.stats()["misses"] == misses_before + 2
+        assert not np.allclose(out16, out6)
+        # The refreshed compiled path still matches an eager evaluation.
+        caches = []
+        for layer in view.layers:
+            if getattr(layer, "spectral_cache", None) is not None:
+                caches.append((layer, layer.spectral_cache))
+                layer.spectral_cache = None
+        try:
+            eager = view(x)
+        finally:
+            for layer, cache in caches:
+                layer.spectral_cache = cache
+        np.testing.assert_array_equal(out6, eager)
 
 
 class TestBackendValidationAtConstruction:

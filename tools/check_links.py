@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo links in the Markdown docs.
+
+Scans Markdown files for inline links/images ``[text](target)`` and
+reference definitions ``[label]: target``, and checks that every
+*relative* target resolves to an existing file or directory (anchors are
+stripped; external ``http(s)``/``mailto`` targets are ignored — this is a
+repo-consistency check, not a web crawler).
+
+Usage::
+
+    python tools/check_links.py [paths...]
+
+Each path may be a Markdown file or a directory (searched recursively for
+``*.md``). With no arguments, checks the repository's top-level ``*.md``
+files plus everything under ``docs/``. Exits non-zero listing every
+broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Badge-style links [![alt](img)](target): the plain inline regex below
+# only sees the inner image, so these are matched first — capturing both
+# the image URL and the outer target — and stripped before the plain scan.
+_BADGE_LINK = re.compile(
+    r"\[!\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)\]"
+    r"\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)"
+)
+# Inline links/images: [text](target "optional title").
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference-style definitions: [label]: target
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$",
+                      re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .md file list."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.suffix.lower() == ".md" and path.exists():
+            files.add(path)
+        else:
+            print(f"warning: skipping non-markdown path {path}",
+                  file=sys.stderr)
+    return sorted(files)
+
+
+def extract_targets(text: str) -> list[str]:
+    """All link targets in ``text``: badge, inline, and reference-style."""
+    targets: list[str] = []
+
+    def strip_badge(match: re.Match) -> str:
+        targets.extend(match.groups())  # image URL + outer target
+        return ""
+
+    text = _BADGE_LINK.sub(strip_badge, text)
+    targets.extend(_INLINE_LINK.findall(text))
+    targets.extend(_REF_DEF.findall(text))
+    return targets
+
+
+def check_file(md_file: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file (empty = clean)."""
+    problems: list[str] = []
+    text = md_file.read_text(encoding="utf-8")
+    for target in extract_targets(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        if path_part.startswith("/"):
+            resolved = REPO_ROOT / path_part.lstrip("/")
+        else:
+            resolved = md_file.parent / path_part
+        if not resolved.exists():
+            try:
+                shown = md_file.relative_to(REPO_ROOT)
+            except ValueError:
+                shown = md_file
+            problems.append(f"{shown}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        roots = [Path(arg).resolve() for arg in argv]
+    else:
+        roots = sorted(REPO_ROOT.glob("*.md")) + [REPO_ROOT / "docs"]
+        roots = [p for p in roots if p.exists()]
+    files = iter_markdown_files(roots)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for md_file in files:
+        problems.extend(check_file(md_file))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if problems else 'ok'} ({len(problems)} broken link(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
