@@ -25,6 +25,7 @@
 from repro.circulant.circulant import CirculantMatrix
 from repro.circulant.block import BlockCirculantMatrix
 from repro.circulant.ops import (
+    block_circulant_apply,
     block_circulant_backward,
     block_circulant_conv_forward,
     block_circulant_forward,
@@ -45,6 +46,7 @@ from repro.circulant.toeplitz import ToeplitzMatrix
 __all__ = [
     "CirculantMatrix",
     "BlockCirculantMatrix",
+    "block_circulant_apply",
     "block_circulant_forward",
     "block_circulant_backward",
     "block_circulant_conv_forward",

@@ -196,6 +196,47 @@ def block_circulant_forward(
     return be.irfft(spectral_contract(wf, xf), n=k)
 
 
+def block_circulant_apply(
+    w: np.ndarray, x: np.ndarray, out_features: int | None = None,
+    backend=None, *, cached_spectrum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batch-major FC entry point: flat ``(batch, n)`` rows in, ``(batch, m)``
+    rows out.
+
+    Combines :func:`partition_vector`, :func:`block_circulant_forward` and
+    :func:`unpartition_vector` in one call, so batch assemblers — the
+    serving scheduler stacking many requests into one micro-batch — hand
+    their rows straight to the per-frequency GEMM without doing the block
+    reshuffle themselves. Stateless by construction, which is what makes
+    the compiled serving forward reentrant.
+
+    Parameters
+    ----------
+    w:
+        Defining vectors, shape ``(p, q, k)``.
+    x:
+        Flat input rows, shape ``(batch, n)`` with ``n <= q*k``.
+    out_features:
+        Output width ``m`` (padding rows dropped); defaults to ``p*k``.
+    cached_spectrum:
+        Optional precomputed ``rfft(w)`` (see :func:`weight_spectrum`).
+
+    Returns
+    -------
+    Output rows, shape ``(batch, out_features)``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 3:
+        raise ShapeError(f"weights must be (p, q, k), got shape {w.shape}")
+    p, q, k = w.shape
+    m = p * k if out_features is None else out_features
+    blocks = partition_vector(x, k, q)
+    out_blocks = block_circulant_forward(
+        w, blocks, backend, cached_spectrum=cached_spectrum
+    )
+    return unpartition_vector(out_blocks, m)
+
+
 def block_circulant_conv_forward(
     w: np.ndarray, patch_blocks: np.ndarray, backend=None, *,
     cached_spectrum: np.ndarray | None = None,

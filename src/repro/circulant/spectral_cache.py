@@ -17,20 +17,33 @@ When spectra are recomputed
 An entry is recomputed — lazily, on the next lookup — whenever the
 parameter's ``version`` counter no longer matches the version the spectrum
 was computed from. ``Parameter.value`` bumps that counter on every
-assignment, which covers optimiser steps (``param.value -= lr * g``),
+assignment, which covers optimiser steps (``param.value = value - lr * g``),
 deserialisation, quantisation and pruning. Two cases are *not* detected:
 
 - element-wise writes that never reassign the attribute
-  (``param.value[0] = x``) — call ``param.mark_updated()`` after those;
+  (``param.value[0] = x``) — ``compile_inference()`` freezes the arrays so
+  these raise immediately; call ``param.mark_updated()`` to thaw and bump;
 - mutation of the array through an alias obtained before the lookup.
 
 Entries are keyed per backend name, so a network evaluated on both the
 ``numpy`` and ``radix2`` backends holds one spectrum per backend and the
 two never alias. Cached arrays are returned read-only.
+
+Lifetime and concurrency
+------------------------
+Parameters are held through *weak* references: discarding a network (or
+building a fresh quantised view and dropping the old one) lets the old
+parameters — and their cached spectra, purged by the weakref callback — be
+collected even while the shared cache lives on. ``release(param)`` /
+``clear()`` drop entries eagerly. All cache state is guarded by a lock, so
+many serving threads can look spectra up concurrently; a simultaneous miss
+at worst recomputes the same spectrum twice (last write wins).
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,13 +63,18 @@ class SpectralWeightCache:
 
     One cache can serve many layers (``Sequential.compile_inference``
     shares a single instance across the whole network); entries are keyed
-    by ``(id(parameter), backend_name)`` and a strong reference to each
-    parameter is kept so ids stay unique for the cache's lifetime.
+    by ``(id(parameter), backend_name)``. Only a weak reference to each
+    parameter is kept: a dead weakref callback purges that parameter's
+    entries before its id can be reused, so the cache never pins old
+    weight generations in memory.
     """
 
     def __init__(self) -> None:
         self._entries: dict[tuple[int, str], _CacheEntry] = {}
-        self._owners: dict[int, object] = {}
+        self._owners: dict[int, weakref.ref] = {}
+        # RLock: a gc-triggered owner callback may fire on the thread that
+        # already holds the lock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -72,12 +90,24 @@ class SpectralWeightCache:
         with zero copies.
         """
         be = get_backend(backend)
-        key = (id(param), be.name)
-        entry = self._entries.get(key)
-        if entry is not None and entry.version == param.version:
-            self.hits += 1
-            return entry.spectrum
-        self.misses += 1
+        pid = id(param)
+        key = (pid, be.name)
+        with self._lock:
+            entry = self._entries.get(key)
+            owner = self._owners.get(pid)
+            if (
+                entry is not None
+                and owner is not None
+                and owner() is param
+                and entry.version == param.version
+            ):
+                self.hits += 1
+                return entry.spectrum
+        # Read the version BEFORE the value: if the parameter is reassigned
+        # between the two reads we store the old spectrum under the old
+        # version, which the next lookup correctly treats as stale (a
+        # harmless extra recompute, never silent staleness).
+        version = param.version
         spectrum = weight_spectrum(param.value, be)
         if spectrum.ndim == 3:
             # Store frequency-major memory behind the natural (p, q, f)
@@ -96,34 +126,79 @@ class SpectralWeightCache:
                 spectrum.transpose(3, 1, 0, 2)
             ).transpose(2, 1, 3, 0)
         spectrum.setflags(write=False)
-        self._entries[key] = _CacheEntry(spectrum, param.version)
-        self._owners[id(param)] = param
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = _CacheEntry(spectrum, version)
+            owner = self._owners.get(pid)
+            if owner is None or owner() is not param:
+                self._owners[pid] = weakref.ref(param, self._make_purge(pid))
         return spectrum
+
+    def __deepcopy__(self, memo) -> "SpectralWeightCache":
+        # Locks and weakrefs do not survive deepcopy, and cloned entries
+        # would be keyed by the *original* parameters' ids — dead weight a
+        # copied network could never hit. A deep-copied cache therefore
+        # starts empty; callers recompile to warm it (quantized_view
+        # detaches the copy entirely and starts fresh).
+        clone = SpectralWeightCache()
+        memo[id(self)] = clone
+        return clone
+
+    def _make_purge(self, pid: int):
+        # The callback must not keep the cache alive: hold it weakly too.
+        cache_ref = weakref.ref(self)
+
+        def _purge(_dead_ref, pid=pid, cache_ref=cache_ref):
+            cache = cache_ref()
+            if cache is not None:
+                cache._drop_id(pid)
+
+        return _purge
+
+    def _drop_id(self, pid: int) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == pid]:
+                del self._entries[key]
+            self._owners.pop(pid, None)
+
+    def release(self, param) -> None:
+        """Eagerly drop every cached spectrum of ``param``.
+
+        The weakref callback does this automatically when the parameter is
+        garbage-collected; ``release`` is for callers that keep the
+        parameter alive but know its spectra are no longer wanted (e.g. a
+        layer leaving a shared serving cache).
+        """
+        self._drop_id(id(param))
+
+    def clear(self) -> None:
+        """Drop every entry and owner reference (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._owners.clear()
 
     def invalidate(self, param=None) -> None:
         """Drop cached spectra for ``param``, or every entry when ``None``."""
         if param is None:
-            self._entries.clear()
-            self._owners.clear()
-            return
-        target = id(param)
-        for key in [k for k in self._entries if k[0] == target]:
-            del self._entries[key]
-        self._owners.pop(target, None)
+            self.clear()
+        else:
+            self.release(param)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/entry counters (for tests and serving dashboards)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"SpectralWeightCache(entries={len(self._entries)}, "
+            f"SpectralWeightCache(entries={len(self)}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -58,7 +58,8 @@ def prune_network(network: Sequential | Module,
     masks: dict[int, np.ndarray] = {}
     for param in _prunable_parameters(network):
         mask = magnitude_mask(param.value, sparsity)
-        param.value *= mask
+        # Pure assignment: valid even on parameters frozen for serving.
+        param.value = param.value * mask
         masks[id(param)] = mask
     return masks
 
@@ -111,13 +112,13 @@ class MagnitudePruner:
         self._masks = []
         for param in _prunable_parameters(self.network):
             mask = magnitude_mask(param.value, self.sparsity)
-            param.value *= mask
+            param.value = param.value * mask
             self._masks.append((param, mask))
 
     def apply_masks(self) -> None:
         """Re-zero pruned positions (call after every optimiser step)."""
         for param, mask in self._masks:
-            param.value *= mask
+            param.value = param.value * mask
 
     def report(self) -> SparsityReport:
         """Measured sparsity across the pruned parameters."""

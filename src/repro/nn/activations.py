@@ -10,6 +10,8 @@ from repro.nn.module import Module
 class ReLU(Module):
     """``max(0, x)`` — runs on the peripheral block's comparators (§4.2)."""
 
+    shape_transparent = True
+
     def __init__(self):
         super().__init__()
         self._mask: np.ndarray | None = None
@@ -18,6 +20,11 @@ class ReLU(Module):
         x = np.asarray(x, dtype=np.float64)
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no mask cached on ``self``."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0, x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -28,6 +35,8 @@ class ReLU(Module):
 class Sigmoid(Module):
     """Logistic activation — used by the RBM/DBN experiments (§3.4)."""
 
+    shape_transparent = True
+
     def __init__(self):
         super().__init__()
         self._output: np.ndarray | None = None
@@ -36,6 +45,11 @@ class Sigmoid(Module):
         x = np.asarray(x, dtype=np.float64)
         self._output = 1.0 / (1.0 + np.exp(-x))
         return self._output
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no output cached on ``self``."""
+        x = np.asarray(x, dtype=np.float64)
+        return 1.0 / (1.0 + np.exp(-x))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
@@ -46,6 +60,8 @@ class Sigmoid(Module):
 class Tanh(Module):
     """Hyperbolic-tangent activation."""
 
+    shape_transparent = True
+
     def __init__(self):
         super().__init__()
         self._output: np.ndarray | None = None
@@ -53,6 +69,10 @@ class Tanh(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._output = np.tanh(np.asarray(x, dtype=np.float64))
         return self._output
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no output cached on ``self``."""
+        return np.tanh(np.asarray(x, dtype=np.float64))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:

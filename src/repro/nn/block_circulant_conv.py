@@ -75,6 +75,11 @@ class BlockCirculantConv2D(Module):
 
     # -- metadata -----------------------------------------------------------
     @property
+    def input_sample_shape(self) -> tuple[int | None, ...]:
+        """Per-sample input shape (spatial dims free), for batch assembly."""
+        return (self.in_channels, None, None)
+
+    @property
     def dense_parameters(self) -> int:
         """Filter parameters of the equivalent unstructured CONV layer."""
         return self.out_channels * self.in_channels * self.field**2
@@ -116,20 +121,31 @@ class BlockCirculantConv2D(Module):
 
         Same contract as :meth:`BlockCirculantDense.compile_inference` —
         the cache invalidates itself on weight updates, so compiling never
-        risks stale outputs. Returns self.
+        risks stale outputs, and the parameter arrays are frozen so element
+        writes that would bypass the version counter raise immediately.
+        Returns self.
         """
         self.eval()
         self.spectral_cache = cache if cache is not None else SpectralWeightCache()
         self.spectral_cache.spectrum(self.weight, self.backend)
+        self.weight.freeze()
+        if self.bias is not None:
+            self.bias.freeze()
         return self
 
     def _weight_spectrum(self, be=None) -> np.ndarray | None:
         """Cached ``rfft(weight)`` when serving from the spectral cache."""
         if self.spectral_cache is None or self.training:
             return None
-        return self.spectral_cache.spectrum(
+        spectrum = self.spectral_cache.spectrum(
             self.weight, be if be is not None else self.backend
         )
+        if not self.weight.frozen:
+            # A legitimate update thawed the array; the cache just
+            # refreshed from it, so re-freeze to keep the
+            # element-writes-raise guarantee for as long as we serve.
+            self.weight.freeze()
+        return spectrum
 
     def _partition_patches(self, patches: np.ndarray) -> np.ndarray:
         """(BN, r², C) -> zero-padded channel blocks (BN, r², qc, k)."""
@@ -141,7 +157,8 @@ class BlockCirculantConv2D(Module):
             patches = padded
         return patches.reshape(flat, r2, self.qc, k)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _run_forward(self, x: np.ndarray, record: bool) -> np.ndarray:
+        """Shared forward pipeline; ``record`` caches state for backward."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
@@ -152,21 +169,23 @@ class BlockCirculantConv2D(Module):
         batch = x.shape[0]
         out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
         positions = out_h * out_w
-        self._input_shape = x.shape
-        self._geometry = (batch, out_h, out_w)
         cols = im2col(x, self.field, self.stride, self.padding)
         # (B, N, C, r, r) -> (B*N, r², C): group by spatial offset, then
         # partition the channel axis into circulant blocks.
         patches = cols.transpose(0, 1, 3, 4, 2).reshape(
             batch * positions, self.field**2, self.in_channels
         )
-        self._patch_blocks = self._partition_patches(patches)
+        patch_blocks = self._partition_patches(patches)
+        if record:
+            self._input_shape = x.shape
+            self._geometry = (batch, out_h, out_w)
+            self._patch_blocks = patch_blocks
         k = self.block_size
         # Same contraction kernel as BlockCirculantDense: one complex BLAS
         # GEMM per frequency bin, weight FFT skipped when a cached
         # spectrum is being served.
         y_blocks = block_circulant_conv_forward(
-            self.weight.value, self._patch_blocks, be,
+            self.weight.value, patch_blocks, be,
             cached_spectrum=self._weight_spectrum(be),
         )
         out = y_blocks.reshape(batch * positions, self.pp * k)
@@ -178,6 +197,13 @@ class BlockCirculantConv2D(Module):
             .transpose(0, 2, 1)
             .reshape(batch, self.out_channels, out_h, out_w)
         )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run_forward(x, record=True)
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: identical pipeline, no state writes."""
+        return self._run_forward(x, record=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._patch_blocks is None or self._geometry is None:

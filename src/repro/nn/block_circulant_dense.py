@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circulant.ops import (
+    block_circulant_apply,
     block_circulant_backward,
     block_circulant_forward,
     block_dims,
@@ -62,6 +63,11 @@ class BlockCirculantDense(Module):
 
     # -- metadata -----------------------------------------------------------
     @property
+    def input_sample_shape(self) -> tuple[int, ...]:
+        """Per-sample input shape, for serving batch assembly."""
+        return (self.in_features,)
+
+    @property
     def dense_parameters(self) -> int:
         """Parameter count of the equivalent unstructured layer (m*n)."""
         return self.in_features * self.out_features
@@ -87,35 +93,72 @@ class BlockCirculantDense(Module):
         spectrum eagerly, so the first inference after compilation pays no
         weight-FFT cost. The cache stays correct if the weights change —
         the parameter version bump triggers a lazy recompute — so compiling
-        is always safe, never a staleness hazard. Returns self.
+        is always safe, never a staleness hazard. The parameter arrays are
+        additionally frozen (read-only), so an element write that would
+        bypass the version counter (``weight.value[0] = x``) raises
+        immediately instead of serving a stale spectrum; assigning
+        ``.value`` or calling ``mark_updated()`` thaws them. Returns self.
         """
         self.eval()
         self.spectral_cache = cache if cache is not None else SpectralWeightCache()
         self.spectral_cache.spectrum(self.weight, self.backend)
+        self.weight.freeze()
+        if self.bias is not None:
+            self.bias.freeze()
         return self
 
     def _weight_spectrum(self) -> np.ndarray | None:
         """Cached ``rfft(weight)`` when serving from the spectral cache."""
         if self.spectral_cache is None or self.training:
             return None
-        return self.spectral_cache.spectrum(self.weight, self.backend)
+        spectrum = self.spectral_cache.spectrum(self.weight, self.backend)
+        if not self.weight.frozen:
+            # A legitimate update (optimiser step, requantise) thawed the
+            # array; the cache just refreshed from it, so re-freeze to keep
+            # the element-writes-raise guarantee for as long as we serve.
+            self.weight.freeze()
+        return spectrum
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _run_forward(self, x: np.ndarray, record: bool) -> np.ndarray:
+        """Shared forward pipeline; ``record`` caches state for backward.
+
+        The serving path hands flat rows straight to the batch-major
+        :func:`~repro.circulant.ops.block_circulant_apply` ops entry; the
+        training path runs the same partition → spectral GEMM →
+        unpartition steps explicitly (bit-identical) because ``backward``
+        needs the intermediate input blocks.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"BlockCirculantDense expects (batch, {self.in_features}), "
                 f"got {x.shape}"
             )
-        self._input_blocks = partition_vector(x, self.block_size, self.q)
-        out_blocks = block_circulant_forward(
-            self.weight.value, self._input_blocks, self.backend,
-            cached_spectrum=self._weight_spectrum(),
-        )
-        out = unpartition_vector(out_blocks, self.out_features)
+        if record:
+            self._input_blocks = partition_vector(x, self.block_size, self.q)
+            out = unpartition_vector(
+                block_circulant_forward(
+                    self.weight.value, self._input_blocks, self.backend,
+                    cached_spectrum=self._weight_spectrum(),
+                ),
+                self.out_features,
+            )
+        else:
+            out = block_circulant_apply(
+                self.weight.value, x, self.out_features, self.backend,
+                cached_spectrum=self._weight_spectrum(),
+            )
         if self.bias is not None:
             out = out + self.bias.value
         return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run_forward(x, record=True)
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: identical pipeline, no state writes,
+        so many threads can share one compiled layer."""
+        return self._run_forward(x, record=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_blocks is None:

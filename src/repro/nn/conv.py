@@ -48,6 +48,11 @@ class Conv2D(Module):
         self._cols: np.ndarray | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
 
+    @property
+    def input_sample_shape(self) -> tuple[int | None, ...]:
+        """Per-sample input shape (spatial dims free), for batch assembly."""
+        return (self.in_channels, None, None)
+
     def output_shape(self, height: int, width: int) -> tuple[int, int]:
         """Spatial output size for a given input size."""
         return (
@@ -55,7 +60,8 @@ class Conv2D(Module):
             conv_output_size(width, self.field, self.stride, self.padding),
         )
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _run_forward(self, x: np.ndarray, record: bool) -> np.ndarray:
+        """Shared forward pipeline; ``record`` caches state for backward."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
@@ -64,17 +70,26 @@ class Conv2D(Module):
             )
         batch = x.shape[0]
         out_h, out_w = self.output_shape(x.shape[2], x.shape[3])
-        self._input_shape = x.shape
         cols = im2col(x, self.field, self.stride, self.padding)
         # (B, N, C, r, r) -> (B, N, C*r*r)
-        self._cols = cols.reshape(batch, out_h * out_w, -1)
+        cols = cols.reshape(batch, out_h * out_w, -1)
+        if record:
+            self._input_shape = x.shape
+            self._cols = cols
         w_mat = self.weight.value.reshape(self.out_channels, -1)
-        out = self._cols @ w_mat.T
+        out = cols @ w_mat.T
         if self.bias is not None:
             out = out + self.bias.value
         return out.transpose(0, 2, 1).reshape(
             batch, self.out_channels, out_h, out_w
         )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run_forward(x, record=True)
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: identical pipeline, no state writes."""
+        return self._run_forward(x, record=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._input_shape is None:

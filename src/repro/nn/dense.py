@@ -27,17 +27,31 @@ class Dense(Module):
         self.bias = self.add_parameter("bias", zeros((out_features,))) if bias else None
         self._input: np.ndarray | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    @property
+    def input_sample_shape(self) -> tuple[int, ...]:
+        """Per-sample input shape, for serving batch assembly."""
+        return (self.in_features,)
+
+    def _run_forward(self, x: np.ndarray, record: bool) -> np.ndarray:
+        """Shared forward pipeline; ``record`` caches state for backward."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ShapeError(
                 f"Dense expects (batch, {self.in_features}), got {x.shape}"
             )
-        self._input = x
+        if record:
+            self._input = x
         out = x @ self.weight.value.T
         if self.bias is not None:
             out = out + self.bias.value
         return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run_forward(x, record=True)
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: identical pipeline, no state writes."""
+        return self._run_forward(x, record=False)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input is None:

@@ -18,6 +18,8 @@ class Dropout(Module):
     network.
     """
 
+    shape_transparent = True
+
     def __init__(self, rate: float, seed=None):
         super().__init__()
         if not 0.0 <= rate < 1.0:
@@ -34,6 +36,13 @@ class Dropout(Module):
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Identity at inference; falls back to ``forward`` when training
+        (the shared RNG makes the training path inherently stateful)."""
+        if self.training and self.rate != 0.0:
+            return self.forward(x)
+        return np.asarray(x, dtype=np.float64)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:

@@ -8,16 +8,24 @@ import numpy as np
 class Parameter:
     """A trainable tensor together with its accumulated gradient.
 
-    The tensor is *versioned*: every assignment to ``value`` (including
-    augmented assignments such as ``param.value -= lr * grad``, which
-    Python rewrites as an assignment) bumps a monotonically increasing
-    ``version`` counter. Derived-quantity caches — e.g. the FFT-domain
+    The tensor is *versioned*: every assignment to ``value`` bumps a
+    monotonically increasing ``version`` counter. Derived-quantity caches
+    — e.g. the FFT-domain
     :class:`~repro.circulant.spectral_cache.SpectralWeightCache` — compare
     this counter to decide whether their cached view is still valid.
+    Updates should be spelled as *pure* assignments
+    (``param.value = param.value - lr * grad``): an augmented assignment
+    (``param.value -= ...``) also bumps the counter, but evaluates
+    ndarray ``__isub__`` on the current array first, which raises
+    ``ValueError`` once :meth:`freeze` has made it read-only.
 
     Element-wise writes that never reassign the attribute
     (``param.value[0] = x``, ``param.value.fill(0)``) bypass the counter;
     code that mutates the array in place must call :meth:`mark_updated`.
+    Serving code closes that hole the hard way: :meth:`freeze` marks the
+    array read-only so a stray element write raises immediately instead
+    of silently serving a stale derived cache. Assigning ``value`` (or
+    calling :meth:`mark_updated`) restores writeability.
     """
 
     def __init__(self, value: np.ndarray):
@@ -31,7 +39,13 @@ class Parameter:
 
     @value.setter
     def value(self, new_value: np.ndarray) -> None:
-        self._value = np.asarray(new_value, dtype=np.float64)
+        arr = np.asarray(new_value, dtype=np.float64)
+        if not arr.flags.writeable:
+            # A fresh assignment always yields a writable tensor: adopting
+            # a read-only source (e.g. the previously frozen array) would
+            # leave the parameter permanently un-trainable.
+            arr = arr.copy()
+        self._value = arr
         self._version += 1
 
     @property
@@ -39,8 +53,39 @@ class Parameter:
         """Monotonic counter bumped on every assignment to ``value``."""
         return self._version
 
+    @property
+    def frozen(self) -> bool:
+        """True when the underlying array is read-only (see :meth:`freeze`)."""
+        return not self._value.flags.writeable
+
+    def freeze(self) -> None:
+        """Mark the array read-only so in-place writes raise immediately.
+
+        ``compile_inference()`` freezes every block-circulant parameter it
+        caches a spectrum for: an element write such as ``param.value[0] = x``
+        bypasses the version counter, so without the freeze it would serve
+        a stale spectrum forever. Assigning ``value`` or calling
+        :meth:`mark_updated` thaws the parameter again.
+        """
+        self._value.setflags(write=False)
+
     def mark_updated(self) -> None:
-        """Bump ``version`` after an in-place element write to ``value``."""
+        """Bump ``version`` after an in-place element write to ``value``.
+
+        Also restores writeability after :meth:`freeze`, so intentional
+        in-place mutation of a compiled network is spelled
+        ``mark_updated(); value[...] = x; mark_updated()`` — on a
+        *quiesced* network only: a concurrent served forward both reads
+        the array mid-mutation and re-freezes it (raising from the
+        element write). Live updates must use pure ``value`` assignment
+        or a registry hot swap instead.
+        """
+        if not self._value.flags.writeable:
+            try:
+                self._value.setflags(write=True)
+            except ValueError:
+                # A view of read-only memory we do not own: copy instead.
+                self._value = self._value.copy()
         self._version += 1
 
     @property
@@ -109,8 +154,36 @@ class Module:
         return self.train(False)
 
     # -- compute -------------------------------------------------------------
+    #: True for elementwise layers (activations, dropout) whose output
+    #: shape always equals their input shape. ``Sequential.input_sample_shape``
+    #: may scan *through* transparent layers to find the first shape
+    #: contract, but must stop at anything else (Flatten, pooling) whose
+    #: input shape differs from the downstream layer's.
+    shape_transparent: bool = False
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Stateless forward for concurrent serving.
+
+        ``forward`` caches intermediates on ``self`` for ``backward``, so
+        two threads sharing one layer can corrupt each other's outputs.
+        Layers override this with a pure computation (no writes to
+        ``self``) that is bit-identical to the eval-mode ``forward``; the
+        base implementation falls back to ``forward`` and is therefore
+        only safe single-threaded.
+        """
+        return self.forward(x)
+
+    @property
+    def input_sample_shape(self) -> tuple[int | None, ...] | None:
+        """Per-sample input shape this layer accepts, for batch assembly.
+
+        ``None`` axes are wildcards (e.g. spatial dims of a CONV layer);
+        ``None`` overall means the layer has no fixed input contract.
+        """
+        return None
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         raise NotImplementedError

@@ -25,6 +25,19 @@ class Sequential(Module):
             x = layer(x)
         return x
 
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: chains each layer's stateless path.
+
+        Bit-identical to the eval-mode ``forward`` (every
+        ``inference_forward`` runs the same computation, minus the writes
+        that cache intermediates for ``backward``), and safe to call from
+        many threads at once over a compiled network — the serving
+        runtime's concurrency contract (see ``docs/serving_runtime.md``).
+        """
+        for layer in self.layers:
+            x = layer.inference_forward(x)
+        return x
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         for layer in reversed(self.layers):
             grad_output = layer.backward(grad_output)
@@ -78,6 +91,46 @@ class Sequential(Module):
     def spectral_cache(self) -> SpectralWeightCache | None:
         """The shared weight-spectrum cache, once compiled (else None)."""
         return getattr(self, "_spectral_cache", None)
+
+    @property
+    def is_compiled(self) -> bool:
+        """True once ``compile_inference`` has attached a spectral cache."""
+        return self.spectral_cache is not None
+
+    @property
+    def input_sample_shape(self) -> tuple[int | None, ...] | None:
+        """Per-sample input shape of the first shape-aware layer.
+
+        ``None`` axes are wildcards (e.g. the spatial dims of a CONV
+        stack); ``None`` overall means no layer declares a contract. The
+        serving scheduler uses this to validate requests before they are
+        assembled into a batch. The scan looks through shape-transparent
+        (elementwise) layers only: a shape-transforming layer without a
+        contract of its own (e.g. ``Flatten``) ends the scan, because the
+        downstream layer's input shape says nothing about the network's.
+        """
+        for layer in self.layers:
+            shape = getattr(layer, "input_sample_shape", None)
+            if shape is not None:
+                return shape
+            if not getattr(layer, "shape_transparent", False):
+                return None
+        return None
+
+    def serving_signature(self) -> dict:
+        """Batch-shape metadata for serving runtimes.
+
+        Everything a batching scheduler needs to admit requests: the
+        per-sample input shape (``None`` axes free), whether the network
+        is compiled (spectra warmed), and the number of cached spectra.
+        """
+        cache = self.spectral_cache
+        return {
+            "input_sample_shape": self.input_sample_shape,
+            "compiled": cache is not None,
+            "cached_spectra": len(cache) if cache is not None else 0,
+            "layers": len(self.layers),
+        }
 
     def summary(self) -> str:
         """Human-readable per-layer listing with parameter counts."""

@@ -56,7 +56,10 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
-            param.value -= self.lr * update
+            # Pure assignment (not -=): the setter bumps the version and
+            # re-creates a writable array even if the parameter was frozen
+            # by compile_inference(), so training after compiling works.
+            param.value = param.value - self.lr * update
 
 
 class Adam(Optimizer):
@@ -91,4 +94,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Pure assignment, like SGD: stays valid on frozen parameters.
+            param.value = (
+                param.value - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            )

@@ -31,14 +31,23 @@ class _Pool2D(Module):
             conv_output_size(width, self.field, self.stride, 0),
         )
 
-    def _patches(self, x: np.ndarray) -> np.ndarray:
+    def _extract(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, tuple[int, int, int, int]]:
+        """Pure patch extraction: ``(patches, input_shape)``, no state."""
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 4:
             raise ShapeError(f"pooling expects NCHW input, got {x.shape}")
-        self._input_shape = x.shape
         cols = im2col(x, self.field, self.stride, 0)
         batch, positions, channels = cols.shape[:3]
-        return cols.reshape(batch, positions, channels, self.field**2)
+        return (
+            cols.reshape(batch, positions, channels, self.field**2),
+            x.shape,
+        )
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        patches, self._input_shape = self._extract(x)
+        return patches
 
     def _scatter(self, grad_patches: np.ndarray) -> np.ndarray:
         batch, positions, channels = grad_patches.shape[:3]
@@ -47,11 +56,14 @@ class _Pool2D(Module):
         )
         return col2im(cols, self._input_shape, self.field, self.stride, 0)
 
-    def _to_nchw(self, pooled: np.ndarray) -> np.ndarray:
+    def _to_nchw(
+        self, pooled: np.ndarray,
+        input_shape: tuple[int, int, int, int] | None = None,
+    ) -> np.ndarray:
+        if input_shape is None:
+            input_shape = self._input_shape
         batch, _, channels = pooled.shape
-        height, width = self.output_shape(
-            self._input_shape[2], self._input_shape[3]
-        )
+        height, width = self.output_shape(input_shape[2], input_shape[3])
         return pooled.transpose(0, 2, 1).reshape(batch, channels, height, width)
 
 
@@ -66,6 +78,11 @@ class MaxPool2D(_Pool2D):
         patches = self._patches(x)
         self._argmax = np.argmax(patches, axis=-1)
         return self._to_nchw(np.max(patches, axis=-1))
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no argmax/shape cached on ``self``."""
+        patches, input_shape = self._extract(x)
+        return self._to_nchw(np.max(patches, axis=-1), input_shape)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._argmax is None or self._input_shape is None:
@@ -94,6 +111,11 @@ class AvgPool2D(_Pool2D):
     def forward(self, x: np.ndarray) -> np.ndarray:
         patches = self._patches(x)
         return self._to_nchw(np.mean(patches, axis=-1))
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no input shape cached on ``self``."""
+        patches, input_shape = self._extract(x)
+        return self._to_nchw(np.mean(patches, axis=-1), input_shape)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

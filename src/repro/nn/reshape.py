@@ -19,6 +19,11 @@ class Flatten(Module):
         self._input_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant serving forward: no input shape cached on ``self``."""
+        x = np.asarray(x, dtype=np.float64)
+        return x.reshape(x.shape[0], -1)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")

@@ -16,6 +16,7 @@ from repro.quant.schemes import (
     QuantizationReport,
     fit_format,
     quantization_snr_db,
+    quantize_per_sample,
     quantize_tensor,
 )
 from repro.quant.network import (
@@ -24,6 +25,7 @@ from repro.quant.network import (
     network_accuracy,
     quantize_network_weights,
     quantized_view,
+    requantize_endpoint,
 )
 
 __all__ = [
@@ -31,10 +33,12 @@ __all__ = [
     "QuantizationReport",
     "fit_format",
     "quantize_tensor",
+    "quantize_per_sample",
     "quantization_snr_db",
     "ActivationQuantizer",
     "quantize_network_weights",
     "quantized_view",
     "network_accuracy",
     "accuracy_vs_bits",
+    "requantize_endpoint",
 ]

@@ -34,9 +34,10 @@ import copy
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.nn.module import Module
 from repro.nn.network import Sequential
-from repro.quant.schemes import quantize_tensor
+from repro.quant.schemes import quantize_per_sample, quantize_tensor
 
 
 def quantize_network_weights(network: Sequential | Module,
@@ -53,17 +54,30 @@ def quantize_network_weights(network: Sequential | Module,
 class ActivationQuantizer(Module):
     """Quantise the activation stream to the datapath word length.
 
-    Identity in the backward direction (straight-through estimator), so a
-    quantised pipeline can still be fine-tuned if desired.
+    The Q-format is fitted **per sample** (each batch row gets its own
+    binary point): a sample's quantised activations depend only on that
+    sample, never on which other requests the serving scheduler happened
+    to co-batch with it — so served outputs are independent of batch
+    composition. Identity in the backward direction (straight-through
+    estimator), so a quantised pipeline can still be fine-tuned if
+    desired.
     """
+
+    # Elementwise: lets Sequential.input_sample_shape see through to the
+    # first real layer, so quantised views keep their serving contract.
+    shape_transparent = True
 
     def __init__(self, total_bits: int):
         super().__init__()
         self.total_bits = total_bits
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return quantize_tensor(np.asarray(x, dtype=np.float64),
-                               self.total_bits)
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return x.copy()
+        if x.ndim <= 1:
+            return quantize_tensor(x, self.total_bits)
+        return quantize_per_sample(x, self.total_bits)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return np.asarray(grad_output)
@@ -119,26 +133,76 @@ def quantized_view(network: Sequential, weight_bits: int,
 
 
 def network_accuracy(network: Sequential, x: np.ndarray,
-                     y: np.ndarray) -> float:
-    """Plain arg-max classification accuracy in eval mode."""
+                     y: np.ndarray, *, on_empty: str = "nan") -> float:
+    """Plain arg-max classification accuracy in eval mode.
+
+    An empty batch has no defined accuracy (``mean`` over zero samples
+    divides by zero): by default the result is ``float("nan")``; pass
+    ``on_empty="raise"`` to get a :class:`~repro.errors.ConfigurationError`
+    instead — useful when an empty evaluation set indicates a wiring bug.
+    """
+    if on_empty not in ("nan", "raise"):
+        raise ConfigurationError(
+            f"on_empty must be 'nan' or 'raise', got {on_empty!r}"
+        )
+    x = np.asarray(x)
+    if x.shape[0] == 0:
+        if on_empty == "raise":
+            raise ConfigurationError(
+                "network_accuracy received an empty batch; accuracy over "
+                "zero samples is undefined"
+            )
+        return float("nan")
+    # Restore the prior mode rather than forcing train(): the network may
+    # be a compiled serving view (accuracy probe around a requantise), and
+    # flipping it to training mode would break the reentrancy contract.
+    was_training = network.training
     network.eval()
-    logits = network(x)
-    network.train()
+    try:
+        logits = network(x)
+    finally:
+        if was_training:
+            network.train()
     return float(np.mean(np.argmax(logits, axis=1) == y))
 
 
 def accuracy_vs_bits(network: Sequential, x: np.ndarray, y: np.ndarray,
                      bit_widths=(16, 12, 8, 6, 4),
-                     quantize_activations: bool = True) -> dict[int, float]:
+                     quantize_activations: bool = True,
+                     on_empty: str = "nan") -> dict[int, float]:
     """Accuracy of the quantised network at each word length.
 
     Returns ``{bits: accuracy}``; the float64 baseline is available from
-    :func:`network_accuracy` on the original network.
+    :func:`network_accuracy` on the original network. ``on_empty``
+    (``"nan"`` or ``"raise"``) is forwarded to :func:`network_accuracy`
+    for zero-length evaluation sets.
     """
     results: dict[int, float] = {}
     for bits in bit_widths:
         view = quantized_view(
             network, bits, bits if quantize_activations else None
         )
-        results[bits] = network_accuracy(view, x, y)
+        results[bits] = network_accuracy(view, x, y, on_empty=on_empty)
     return results
+
+
+def requantize_endpoint(registry, endpoint: str, source: Sequential,
+                        weight_bits: int,
+                        activation_bits: int | None = None) -> Sequential:
+    """Registry-driven requantise-and-swap for a served endpoint.
+
+    Builds a fresh :func:`quantized_view` of ``source`` at the new word
+    length, compiles it (spectra computed once from the fake-quantised
+    weights), and atomically swaps it into
+    ``registry[endpoint]`` — in-flight batches finish on the old view,
+    new batches see the new one, never a mix. The old view (and its
+    cached spectra, held only weakly) becomes collectable as soon as the
+    last in-flight batch drops it. Returns the new compiled view.
+
+    ``registry`` is a :class:`repro.serving.ModelRegistry` (duck-typed:
+    anything with a ``swap(name, network)`` method works).
+    """
+    view = quantized_view(source, weight_bits, activation_bits)
+    view.compile_inference()
+    registry.swap(endpoint, view)
+    return view

@@ -46,6 +46,41 @@ def quantize_tensor(x: np.ndarray, total_bits: int) -> np.ndarray:
     return fit_format(x, total_bits).quantize(x)
 
 
+def quantize_per_sample(x: np.ndarray, total_bits: int) -> np.ndarray:
+    """Fake-quantise each batch row with its own range-fitted format.
+
+    Bit-identical to ``np.stack([quantize_tensor(row, total_bits) for row
+    in x])`` but vectorised: per-row peaks, per-row binary points, one
+    broadcast round/clip. Serving uses this for activation streams so a
+    sample's quantisation never depends on which other samples the
+    scheduler co-batched with it.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ConfigurationError(
+            f"quantize_per_sample expects a batched array, got shape {x.shape}"
+        )
+    peaks = np.max(np.abs(x), axis=tuple(range(1, x.ndim)))
+    int_bits = np.zeros(x.shape[0], dtype=np.int64)
+    nz = peaks > 0.0
+    int_bits[nz] = np.maximum(
+        0, np.ceil(np.log2(peaks[nz] + 1e-300))
+    ).astype(np.int64)
+    hi = 2 ** (total_bits - 1) - 1
+    # Same saturation correction as fit_format, run across all rows at
+    # once (converges in at most a couple of passes).
+    while True:
+        saturation = hi * 2.0 ** -(total_bits - 1 - int_bits)
+        bump = nz & (saturation < peaks)
+        if not bump.any():
+            break
+        int_bits[bump] += 1
+    frac_bits = total_bits - 1 - int_bits
+    resolution = 2.0 ** -frac_bits.reshape((-1,) + (1,) * (x.ndim - 1))
+    lo = -(2 ** (total_bits - 1))
+    return np.clip(np.rint(x / resolution), lo, hi) * resolution
+
+
 def quantization_snr_db(x: np.ndarray, total_bits: int) -> float:
     """Signal-to-quantisation-noise ratio in dB for a range-fitted format.
 

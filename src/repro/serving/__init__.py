@@ -1,0 +1,48 @@
+"""Batched serving runtime over the spectral inference engine.
+
+The ROADMAP north-star is serving heavy traffic, and the per-frequency
+spectral GEMM (see ``docs/spectral_engine.md``) costs nearly the same for
+one request as for sixteen — so the serving runtime's job is to turn many
+concurrent single-sample requests into few compiled batch forwards, the
+software analogue of the batching-across-inputs leverage CirCNN's
+pipelined FFT hardware gets for free.
+
+Three pieces, documented end to end in ``docs/serving_runtime.md``:
+
+- :class:`~repro.serving.scheduler.MicroBatcher` /
+  :class:`~repro.serving.scheduler.BatchPolicy` — dynamic micro-batching
+  (collect up to ``max_batch`` requests or ``max_wait_ms``, whichever
+  first) and batch assembly with optional batch-axis padding;
+- :class:`~repro.serving.registry.ModelRegistry` — named endpoints over
+  multiple compiled networks (FC, CONV, quantised views) with atomic
+  hot swap and per-endpoint generation counters;
+- :class:`~repro.serving.server.InferenceServer` — the request/response
+  runtime: per-endpoint lanes feed assembled batches to a worker thread
+  pool, which runs one reentrant compiled forward per batch
+  (``Sequential.inference_forward``) and scatters rows to futures.
+"""
+
+from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatcher,
+    assemble_batch,
+    check_sample_shape,
+)
+from repro.serving.server import (
+    InferenceRequest,
+    InferenceResponse,
+    InferenceServer,
+)
+
+__all__ = [
+    "DEFAULT_ENDPOINT",
+    "BatchPolicy",
+    "MicroBatcher",
+    "assemble_batch",
+    "check_sample_shape",
+    "ModelRegistry",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceServer",
+]

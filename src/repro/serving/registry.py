@@ -1,0 +1,131 @@
+"""Named model endpoints with atomic hot swap.
+
+A serving process rarely holds one network: the CirCNN stack alone wants
+the float FC model, the CONV model, and one or more fixed-point
+(:func:`repro.quant.quantized_view`) variants live at the same time, each
+behind a stable endpoint name. :class:`ModelRegistry` owns that mapping
+and makes replacement *atomic*: a batch resolves its network exactly once
+(:meth:`ModelRegistry.snapshot`), so a concurrent :meth:`swap` — a weight
+push, a requantisation (:func:`repro.quant.requantize_endpoint`), a
+rollback — is observed entirely or not at all, never as a mix of old and
+new layers. Old networks are not torn down: in-flight batches finish on
+their snapshot, and the spectral cache's weak references let the retired
+generation be garbage-collected once the last batch drops it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigurationError
+
+DEFAULT_ENDPOINT = "default"
+
+
+class ModelRegistry:
+    """Thread-safe mapping of endpoint names to compiled networks.
+
+    Each endpoint carries a monotonically increasing *generation* counter
+    (bumped on every :meth:`swap`), which serving responses echo so
+    clients can tell which weight generation produced an answer.
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, tuple[object, int]] = {}
+        self._lock = threading.RLock()
+
+    @staticmethod
+    def _prepare(network, compile: bool):
+        if (
+            compile
+            and hasattr(network, "compile_inference")
+            and getattr(network, "spectral_cache", None) is None
+        ):
+            network.compile_inference()  # puts the network in eval mode
+        elif hasattr(network, "eval"):
+            # Already compiled (or compile=False): still force eval mode —
+            # a compiled network that went back to training (fine-tuning)
+            # must not serve training-mode forwards (dropout noise,
+            # non-reentrant state).
+            network.eval()
+        return network
+
+    def register(self, name: str, network, *, compile: bool = True):
+        """Add a new endpoint; raises if ``name`` is already taken.
+
+        By default the network is compiled for serving
+        (``compile_inference()``) unless it already carries a spectral
+        cache. Returns the (compiled) network.
+        """
+        # Prepare outside the lock: compile_inference() computes every
+        # weight spectrum eagerly, and holding the lock for that long
+        # would stall snapshot() — i.e. all serving traffic — meanwhile.
+        net = self._prepare(network, compile)
+        with self._lock:
+            if name in self._endpoints:
+                raise ConfigurationError(
+                    f"endpoint {name!r} is already registered; use swap() "
+                    "to replace it atomically"
+                )
+            self._endpoints[name] = (net, 0)
+        return net
+
+    def swap(self, name: str, network, *, compile: bool = True):
+        """Atomically replace (or create) an endpoint's network.
+
+        In-flight batches keep the snapshot they already resolved; every
+        batch formed after the swap sees the new network. Returns the
+        previous network (``None`` if the endpoint was fresh) so callers
+        can keep it for rollback.
+        """
+        # Prepare (possibly compiling spectra) outside the lock, so
+        # serving traffic keeps resolving snapshots of the old network
+        # until the atomic dict update below.
+        net = self._prepare(network, compile)
+        with self._lock:
+            old = self._endpoints.get(name)
+            generation = old[1] + 1 if old is not None else 0
+            self._endpoints[name] = (net, generation)
+        return old[0] if old is not None else None
+
+    def snapshot(self, name: str):
+        """``(network, generation)`` — the atomic unit a batch runs on."""
+        with self._lock:
+            try:
+                return self._endpoints[name]
+            except KeyError:
+                known = ", ".join(sorted(self._endpoints)) or "<none>"
+                raise ConfigurationError(
+                    f"unknown endpoint {name!r}; registered: {known}"
+                ) from None
+
+    def get(self, name: str):
+        """The network currently behind ``name``."""
+        return self.snapshot(name)[0]
+
+    def generation(self, name: str) -> int:
+        """How many times ``name`` has been swapped since registration."""
+        return self.snapshot(name)[1]
+
+    def unregister(self, name: str):
+        """Remove an endpoint; returns the network that was serving it."""
+        with self._lock:
+            net, _ = self.snapshot(name)
+            del self._endpoints[name]
+        return net
+
+    def endpoints(self) -> list[str]:
+        """Sorted endpoint names."""
+        with self._lock:
+            return sorted(self._endpoints)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._endpoints
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._endpoints)
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry(endpoints={self.endpoints()})"

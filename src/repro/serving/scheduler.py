@@ -1,0 +1,168 @@
+"""Dynamic micro-batching: turning concurrent requests into one GEMM.
+
+CirCNN's pipelined FFT datapath gets batching across inputs for free —
+every cycle a new activation vector enters the pipeline while the weight
+spectra stay resident (Ding et al., MICRO 2017). The software analogue is
+micro-batching: the per-frequency spectral GEMM of
+:func:`repro.circulant.ops.spectral_contract` costs nearly the same for
+one request as for sixteen (the weight-spectrum operand is identical;
+only the activation columns grow), so amortising it over many concurrent
+requests is the single biggest serving lever — the same leverage CircConv
+(Liao et al., 2019) relies on to make structured convolution pay off at
+inference time.
+
+:class:`MicroBatcher` implements the classic dynamic policy: the batch
+window opens when the first request is taken, and closes when either
+``max_batch`` requests have been collected or ``max_wait_ms`` has elapsed
+— whichever comes first. Requests already queued are always drained (they
+cost nothing to include), FIFO order is preserved, and an idle queue
+never busy-waits.
+
+:func:`assemble_batch` then stacks the per-request samples into one
+batch-major array — optionally zero-padding the batch axis up to a
+multiple of ``pad_to_multiple`` so the downstream GEMM sees a small set
+of recurring shapes (BLAS and FFT plan caches both like that) — and the
+caller scatters the first ``rows`` output rows back to the requests.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two latency/throughput knobs of dynamic micro-batching.
+
+    ``max_batch`` bounds how much work one compiled forward may carry
+    (throughput lever), ``max_wait_ms`` bounds how long the first request
+    in a window may wait for company (latency lever), and
+    ``pad_to_multiple`` optionally rounds the batch axis up with zero
+    rows so the spectral GEMM sees recurring shapes.
+    """
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    pad_to_multiple: int | None = None
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.pad_to_multiple is not None and self.pad_to_multiple < 1:
+            raise ConfigurationError(
+                f"pad_to_multiple must be >= 1, got {self.pad_to_multiple}"
+            )
+
+
+class MicroBatcher:
+    """Collect queued items into micro-batches under a :class:`BatchPolicy`.
+
+    Thread-safe: any number of producers may :meth:`put` while one
+    consumer loops on :meth:`next_batch`. Items are opaque to the batcher
+    (the serving runtime enqueues ``(request, future)`` pairs).
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._queue: queue.Queue = queue.Queue()
+
+    def put(self, item) -> None:
+        """Enqueue one item (never blocks)."""
+        self._queue.put(item)
+
+    def pending(self) -> int:
+        """Approximate number of queued items (for stats/draining)."""
+        return self._queue.qsize()
+
+    def next_batch(self, timeout: float | None = None) -> list | None:
+        """Block up to ``timeout`` seconds for a batch; ``None`` if idle.
+
+        The window opens when the first item is taken; it closes at
+        ``max_batch`` items or after ``max_wait_ms``, whichever first.
+        Items that are already queued when the deadline passes are still
+        drained into the closing batch (they cost nothing to include).
+        """
+        try:
+            first = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.policy.max_wait_ms / 1000.0
+        while len(batch) < self.policy.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except queue.Empty:
+                pass
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+
+def check_sample_shape(
+    shape: tuple[int, ...], expected: tuple[int | None, ...] | None
+) -> None:
+    """Validate one request sample against a layer's declared input shape.
+
+    ``expected`` comes from ``Sequential.input_sample_shape``: ``None``
+    axes are wildcards (e.g. CONV spatial dims), ``None`` overall skips
+    the check entirely. Raises :class:`~repro.errors.ShapeError` on
+    mismatch — at submit time, so one bad request cannot poison the
+    micro-batch it would have joined.
+    """
+    if expected is None:
+        return
+    if len(shape) != len(expected) or any(
+        want is not None and got != want
+        for got, want in zip(shape, expected)
+    ):
+        raise ShapeError(
+            f"request sample shape {shape} does not match the endpoint's "
+            f"input shape {expected} (None = any)"
+        )
+
+
+def assemble_batch(
+    samples: list[np.ndarray], pad_to_multiple: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Stack per-request samples into one batch-major array.
+
+    Returns ``(batch, rows)`` where ``rows`` is the number of real
+    samples; when ``pad_to_multiple`` is given the batch axis is
+    zero-padded up to the next multiple, and the caller must scatter only
+    ``batch[:rows]`` back to the requests.
+    """
+    if not samples:
+        raise ConfigurationError("assemble_batch received no samples")
+    shape = np.shape(samples[0])
+    for sample in samples[1:]:
+        if np.shape(sample) != shape:
+            raise ShapeError(
+                f"cannot assemble a batch from mixed sample shapes "
+                f"{shape} and {np.shape(sample)}"
+            )
+    x = np.stack([np.asarray(s, dtype=np.float64) for s in samples])
+    rows = x.shape[0]
+    if pad_to_multiple is not None and rows % pad_to_multiple:
+        padded_rows = -(-rows // pad_to_multiple) * pad_to_multiple
+        padded = np.zeros((padded_rows, *x.shape[1:]), dtype=np.float64)
+        padded[:rows] = x
+        x = padded
+    return x, rows

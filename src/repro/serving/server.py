@@ -1,0 +1,362 @@
+"""Batched inference serving on top of the spectral engine.
+
+:class:`InferenceServer` is the first subsystem above the layer API: it
+accepts single-sample requests from any number of client threads, lets a
+per-endpoint :class:`~repro.serving.scheduler.MicroBatcher` assemble them
+into micro-batches, runs **one compiled forward per batch** on a worker
+thread pool, and scatters the output rows back to per-request futures.
+
+The concurrency contract
+------------------------
+Compiled forwards are *read-only* over the cached weight spectra
+(``Sequential.inference_forward`` writes no per-call state, and
+``compile_inference()`` freezes the parameter arrays), so any number of
+batches may execute concurrently on one network. Weight updates go
+through :class:`~repro.serving.registry.ModelRegistry.swap`, which
+replaces the whole network atomically: a batch resolves its snapshot
+once, so it observes the old generation or the new one, never a mix.
+
+Request/response dataclasses, the scheduler knobs (``max_batch``,
+``max_wait_ms``, ``pad_to_multiple``) and the hot-swap contract are
+documented end to end in ``docs/serving_runtime.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatcher,
+    assemble_batch,
+    check_sample_shape,
+)
+
+# Sentinel enqueued at shutdown so idle batcher waits wake immediately.
+_WAKE = object()
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One sample submitted to the server (the batch axis is added by
+    the scheduler: ``x`` has the endpoint's per-sample shape)."""
+
+    request_id: int
+    endpoint: str
+    x: np.ndarray
+    enqueued_at: float  # time.monotonic()
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """One request's result, with the serving telemetry dashboards want."""
+
+    request_id: int
+    endpoint: str
+    y: np.ndarray
+    batch_size: int     # real requests in the micro-batch that served it
+    generation: int     # registry generation of the network snapshot
+    queued_ms: float    # submit -> batch close
+    latency_ms: float   # submit -> result ready
+
+
+class _Lane:
+    """Per-endpoint batcher plus the thread that forms its batches."""
+
+    def __init__(self, batcher: MicroBatcher, thread: threading.Thread):
+        self.batcher = batcher
+        self.thread = thread
+
+
+class InferenceServer:
+    """Dynamic micro-batching serving runtime over compiled networks.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.serving.registry.ModelRegistry`, or a single
+        network (registered under the ``"default"`` endpoint, compiled if
+        it is not already).
+    max_batch, max_wait_ms, pad_to_multiple:
+        The :class:`~repro.serving.scheduler.BatchPolicy` knobs, shared by
+        every endpoint lane.
+    workers:
+        Size of the thread pool that executes assembled batches. Safe to
+        raise because compiled forwards are read-only over the cached
+        spectra; NumPy releases the GIL inside the FFT/GEMM kernels, so
+        extra workers overlap real work.
+
+    Usage::
+
+        server = InferenceServer(net, max_batch=16, max_wait_ms=2.0)
+        with server:                      # start() / stop()
+            y = server.infer(x_sample)   # or submit() for a Future
+    """
+
+    def __init__(self, model, *, max_batch: int = 16,
+                 max_wait_ms: float = 2.0,
+                 pad_to_multiple: int | None = None, workers: int = 2):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if isinstance(model, ModelRegistry):
+            self.registry = model
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register(DEFAULT_ENDPOINT, model)
+        self.policy = BatchPolicy(
+            max_batch=max_batch, max_wait_ms=max_wait_ms,
+            pad_to_multiple=pad_to_multiple,
+        )
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._lanes: dict[str, _Lane] = {}
+        # RLock: submit() holds it across the running check, lane lookup
+        # and enqueue so a concurrent stop() cannot strand a request in a
+        # lane whose consumer thread has already exited.
+        self._lock = threading.RLock()
+        # Serialises start()/stop() end to end (joins included): a start()
+        # racing a mid-drain stop() must not have its fresh executor and
+        # lanes clobbered by stop()'s final cleanup.
+        self._lifecycle = threading.Lock()
+        self._stop = threading.Event()
+        self._stop.set()  # not started yet
+        self._ids = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._responses = 0
+        self._batches = 0
+        self._batched_rows = 0
+        self._padded_rows = 0
+        self._errors = 0
+        self._cancelled = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return not self._stop.is_set()
+
+    def start(self) -> "InferenceServer":
+        """Spin up the worker pool; idempotent. Returns self.
+
+        Blocks while a concurrent ``stop()`` is mid-drain, so a restart
+        always begins from a fully torn-down server.
+        """
+        with self._lifecycle:
+            with self._lock:
+                if self.running:
+                    return self
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-serving",
+                )
+                self._stop.clear()
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, finish in-flight batches, release threads.
+
+        Every request accepted before ``stop()`` is still served: lanes
+        drain their queues before exiting, then the worker pool shuts
+        down after the last batch completes.
+        """
+        with self._lifecycle:
+            with self._lock:
+                if not self.running:
+                    return
+                self._stop.set()
+                lanes = list(self._lanes.values())
+                executor = self._executor
+            for lane in lanes:
+                lane.batcher.put(_WAKE)
+            for lane in lanes:
+                lane.thread.join()
+            if executor is not None:
+                executor.shutdown(wait=True)
+            with self._lock:
+                self._lanes.clear()
+                self._executor = None
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+    def submit(self, x, endpoint: str = DEFAULT_ENDPOINT) -> Future:
+        """Enqueue one sample; returns a Future of
+        :class:`InferenceResponse`.
+
+        ``x`` is a single sample (no batch axis) matching the endpoint's
+        ``input_sample_shape``; shape problems raise here, at submit
+        time, so a malformed request can never poison the micro-batch it
+        would have joined.
+        """
+        net, _ = self.registry.snapshot(endpoint)
+        x = np.asarray(x, dtype=np.float64)
+        check_sample_shape(
+            x.shape, getattr(net, "input_sample_shape", None)
+        )
+        request = InferenceRequest(
+            request_id=next(self._ids), endpoint=endpoint, x=x,
+            enqueued_at=time.monotonic(),
+        )
+        future: Future = Future()
+        # Check-and-enqueue atomically w.r.t. stop(): once the item is in
+        # a lane queue, stop() is guaranteed to drain it.
+        with self._lock:
+            if not self.running:
+                raise ConfigurationError(
+                    "InferenceServer is not running; call start() or use "
+                    "it as a context manager"
+                )
+            self._lane(endpoint).batcher.put((request, future))
+        with self._stats_lock:
+            self._requests += 1
+        return future
+
+    def infer(self, x, endpoint: str = DEFAULT_ENDPOINT,
+              timeout: float | None = None) -> np.ndarray:
+        """Synchronous single-sample convenience: submit and wait."""
+        return self.submit(x, endpoint).result(timeout).y
+
+    def infer_many(self, samples, endpoint: str = DEFAULT_ENDPOINT,
+                   timeout: float | None = None) -> list[np.ndarray]:
+        """Submit a burst of samples, return their outputs in order."""
+        futures = [self.submit(x, endpoint) for x in samples]
+        return [f.result(timeout).y for f in futures]
+
+    # -- internals -----------------------------------------------------------
+    def _lane(self, endpoint: str) -> _Lane:
+        with self._lock:
+            lane = self._lanes.get(endpoint)
+            if lane is None:
+                batcher = MicroBatcher(self.policy)
+                thread = threading.Thread(
+                    target=self._lane_loop, args=(endpoint, batcher),
+                    name=f"repro-serving-lane-{endpoint}", daemon=True,
+                )
+                lane = _Lane(batcher, thread)
+                self._lanes[endpoint] = lane
+                thread.start()
+            return lane
+
+    def _lane_loop(self, endpoint: str, batcher: MicroBatcher) -> None:
+        while True:
+            if self._stop.is_set() and batcher.pending() == 0:
+                return
+            batch = batcher.next_batch(timeout=0.05)
+            if not batch:
+                continue
+            closed = time.monotonic()
+            items = [item for item in batch if item is not _WAKE]
+            if not items:
+                continue
+            # stop() nulls the executor only after joining this thread,
+            # so it is always live here; batches submitted while draining
+            # still run before shutdown(wait=True) returns.
+            self._executor.submit(self._run_batch, endpoint, items, closed)
+
+    def _run_batch(self, endpoint: str, items: list, closed: float) -> None:
+        # ``closed`` is the lane's batch-close instant: measuring it here
+        # (or per group) would fold executor-queue wait and earlier
+        # sub-batches' forward time into queued_ms.
+        # Endpoints with wildcard axes (CONV spatial dims) can legally mix
+        # sample shapes inside one scheduling window; stack each concrete
+        # shape as its own sub-batch so valid requests never fail each
+        # other. Fixed-shape endpoints always form a single group.
+        groups: dict[tuple[int, ...], list] = {}
+        for item in items:
+            groups.setdefault(item[0].x.shape, []).append(item)
+        for group in groups.values():
+            self._run_group(endpoint, group, closed)
+
+    def _run_group(self, endpoint: str, items: list, closed: float) -> None:
+        # Claim every future before doing work: a client that gave up may
+        # have cancelled, and calling set_result on a cancelled future
+        # raises InvalidStateError mid-scatter — stranding every later
+        # request in the batch. Once a future is RUNNING, cancel() can no
+        # longer win the race, so the scatter below is safe.
+        live = [
+            (request, future) for request, future in items
+            if future.set_running_or_notify_cancel()
+        ]
+        if len(live) < len(items):
+            with self._stats_lock:
+                self._cancelled += len(items) - len(live)
+        if not live:
+            return
+        requests = [request for request, _ in live]
+        futures = [future for _, future in live]
+        try:
+            # One snapshot per batch: the hot-swap atomicity contract.
+            net, generation = self.registry.snapshot(endpoint)
+            x, rows = assemble_batch(
+                [request.x for request in requests],
+                self.policy.pad_to_multiple,
+            )
+            y = np.asarray(net.inference_forward(x))[:rows]
+            if y.shape[0] != len(requests):
+                # A model that collapses the batch axis would otherwise
+                # leave the excess futures unresolved forever (zip stops
+                # at the shorter side); fail the whole batch loudly.
+                raise RuntimeError(
+                    f"endpoint {endpoint!r} returned {y.shape[0]} output "
+                    f"rows for a batch of {len(requests)} requests"
+                )
+        except BaseException as exc:
+            with self._stats_lock:
+                self._errors += len(futures)
+            for future in futures:
+                future.set_exception(exc)
+            return
+        done = time.monotonic()
+        for row, (request, future) in zip(y, live):
+            future.set_result(InferenceResponse(
+                request_id=request.request_id,
+                endpoint=endpoint,
+                # Copy: a view would pin the whole (padded) batch output
+                # in memory for as long as any client keeps its response.
+                y=row.copy(),
+                batch_size=rows,
+                generation=generation,
+                queued_ms=(closed - request.enqueued_at) * 1e3,
+                latency_ms=(done - request.enqueued_at) * 1e3,
+            ))
+        with self._stats_lock:
+            self._responses += rows
+            self._batches += 1
+            self._batched_rows += rows
+            self._padded_rows += x.shape[0] - rows
+
+    def stats(self) -> dict[str, float]:
+        """Serving counters (requests, batches, mean batch size, errors)."""
+        with self._stats_lock:
+            batches = self._batches
+            return {
+                "requests": self._requests,
+                "responses": self._responses,
+                "batches": batches,
+                "errors": self._errors,
+                "cancelled": self._cancelled,
+                "padded_rows": self._padded_rows,
+                "mean_batch_size": (
+                    self._batched_rows / batches if batches else 0.0
+                ),
+            }
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"InferenceServer({state}, endpoints={self.registry.endpoints()}, "
+            f"max_batch={self.policy.max_batch}, "
+            f"max_wait_ms={self.policy.max_wait_ms})"
+        )

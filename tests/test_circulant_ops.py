@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circulant import (
+    block_circulant_apply,
     block_circulant_backward,
     block_circulant_forward,
     block_dims,
@@ -65,6 +66,20 @@ class TestPartitioning:
     def test_wrong_rank_rejected(self, rng):
         with pytest.raises(ShapeError):
             partition_vector(rng.normal(size=12), 4, 3)
+
+    def test_apply_fuses_partition_forward_unpartition(self, rng):
+        # The batch-major serving entry is exactly the three-step
+        # pipeline batch assemblers would otherwise write themselves.
+        w = rng.normal(size=(2, 3, 4))
+        x = rng.normal(size=(5, 10))
+        manual = unpartition_vector(
+            block_circulant_forward(w, partition_vector(x, 4, 3)), 7
+        )
+        np.testing.assert_array_equal(
+            block_circulant_apply(w, x, 7), manual
+        )
+        with pytest.raises(ShapeError):
+            block_circulant_apply(rng.normal(size=(2, 3)), x, 7)
 
 
 class TestForward:

@@ -155,3 +155,98 @@ class TestQuantizedInference:
         distorted = layer.forward(x)
         relative = np.linalg.norm(distorted - clean) / np.linalg.norm(clean)
         assert relative > 0.05
+
+
+class TestEmptyBatchAccuracy:
+    """Bugfix: zero-length evaluation sets must not divide by zero."""
+
+    @staticmethod
+    def _network():
+        from repro.nn import BlockCirculantDense, Sequential
+
+        return Sequential(BlockCirculantDense(8, 4, 2, seed=0))
+
+    def test_network_accuracy_empty_returns_nan(self):
+        from repro.quant import network_accuracy
+
+        result = network_accuracy(
+            self._network(), np.zeros((0, 8)), np.zeros((0,), dtype=int)
+        )
+        assert np.isnan(result)
+
+    def test_network_accuracy_empty_can_raise(self):
+        from repro.quant import network_accuracy
+
+        with pytest.raises(ConfigurationError):
+            network_accuracy(
+                self._network(), np.zeros((0, 8)), np.zeros((0,), dtype=int),
+                on_empty="raise",
+            )
+
+    def test_network_accuracy_rejects_bad_on_empty(self, rng):
+        from repro.quant import network_accuracy
+
+        with pytest.raises(ConfigurationError):
+            network_accuracy(
+                self._network(), rng.normal(size=(2, 8)), np.zeros(2, int),
+                on_empty="zero",
+            )
+
+    def test_accuracy_vs_bits_empty_returns_nan_per_width(self):
+        from repro.quant import accuracy_vs_bits
+
+        results = accuracy_vs_bits(
+            self._network(), np.zeros((0, 8)), np.zeros((0,), dtype=int),
+            bit_widths=(16, 4),
+        )
+        assert set(results) == {16, 4}
+        assert all(np.isnan(v) for v in results.values())
+
+    def test_accuracy_vs_bits_empty_can_raise(self):
+        from repro.quant import accuracy_vs_bits
+
+        with pytest.raises(ConfigurationError):
+            accuracy_vs_bits(
+                self._network(), np.zeros((0, 8)), np.zeros((0,), dtype=int),
+                bit_widths=(16,), on_empty="raise",
+            )
+
+    def test_non_empty_unchanged(self, rng):
+        from repro.quant import network_accuracy
+
+        net = self._network()
+        x = rng.normal(size=(16, 8))
+        y = rng.integers(0, 4, size=16)
+        accuracy = network_accuracy(net, x, y)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_quantize_per_sample_matches_per_row_fit(self, rng):
+        # The vectorised serving path is bit-identical to quantising each
+        # row with its own per-tensor format.
+        from repro.quant import quantize_tensor
+        from repro.quant.schemes import quantize_per_sample
+
+        x = rng.normal(size=(5, 7)) * 10.0 ** rng.integers(-3, 4, size=(5, 1))
+        x[2] = 0.0  # all-zero row gets maximum fractional precision
+        for bits in (16, 8, 4):
+            np.testing.assert_array_equal(
+                quantize_per_sample(x, bits),
+                np.stack([quantize_tensor(row, bits) for row in x]),
+            )
+        with pytest.raises(ConfigurationError):
+            quantize_per_sample(np.zeros(3), 8)
+
+    def test_network_accuracy_restores_prior_mode(self, rng):
+        # An accuracy probe on a compiled serving network must not leave
+        # it in training mode (stochastic dropout, non-reentrant state);
+        # a training network keeps training.
+        from repro.quant import network_accuracy
+
+        x = rng.normal(size=(4, 8))
+        y = rng.integers(0, 4, size=4)
+        serving = self._network().compile_inference()
+        network_accuracy(serving, x, y)
+        assert serving.training is False
+        training = self._network()
+        network_accuracy(training, x, y)
+        assert training.training is True
