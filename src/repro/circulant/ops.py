@@ -32,9 +32,20 @@ fast path that consumes a precomputed :func:`weight_spectrum` — weights
 change once per optimiser step but are read on every inference, so the
 serving path (see :class:`repro.circulant.spectral_cache.SpectralWeightCache`)
 amortises the weight FFT across calls and only transforms activations.
+
+Training gets the same reuse through the **spectral tape** (paper Eq. 8–9:
+both gradients are per-frequency products of spectra the forward pass
+already computed). A forward called with ``record=True`` returns a
+:class:`SpectralTape` carrying the weight and input/patch spectra, and the
+backward kernels accept them back (``cached_spectrum=`` /
+``cached_input_spectrum=`` / ``cached_patch_spectrum=``), so one full
+train step performs exactly one FFT per distinct tensor: ``w``, ``x`` (or
+the im2col patches), and the output gradient.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -89,6 +100,37 @@ def unpartition_vector(a: np.ndarray, m: int) -> np.ndarray:
     if m > p * k:
         raise ShapeError(f"m={m} exceeds p*k={p * k}")
     return a.reshape(batch, p * k)[:, :m]
+
+
+@dataclass
+class SpectralTape:
+    """Spectra a recording forward pass saves for reuse in backward.
+
+    Eq. 8–9 of the paper evaluate both gradients as per-frequency products
+    of ``FFT(w)``, ``FFT(x)`` and ``FFT(∂L/∂a)`` — the first two of which
+    the forward pass already computed. The tape is the record that carries
+    them across the forward/backward boundary:
+
+    - ``blocks`` — the time-domain input blocks (FC: ``(batch, q, k)``) or
+      patch blocks (CONV: ``(batch·positions, r², q, k)``) the forward
+      consumed;
+    - ``input_spectrum`` — ``rfft(blocks)``, reusable as
+      ``cached_input_spectrum=`` / ``cached_patch_spectrum=``;
+    - ``weight_spectrum`` — the ``rfft(w)`` the forward actually used
+      (possibly served from a
+      :class:`~repro.circulant.spectral_cache.SpectralWeightCache`),
+      reusable as ``cached_spectrum=``. Using the *recorded* spectrum in
+      backward is also the mathematically right thing: the gradient is of
+      the forward that ran, not of whatever the weights are now.
+
+    With a tape, a full train step costs exactly one FFT per distinct
+    tensor — ``w``, ``x``/patches, and the output gradient — instead of
+    recomputing the first two in backward.
+    """
+
+    blocks: np.ndarray
+    input_spectrum: np.ndarray
+    weight_spectrum: np.ndarray
 
 
 def weight_spectrum(w: np.ndarray, backend=None) -> np.ndarray:
@@ -163,8 +205,8 @@ def spectral_contract(wf: np.ndarray, xf: np.ndarray) -> np.ndarray:
 
 def block_circulant_forward(
     w: np.ndarray, x_blocks: np.ndarray, backend=None, *,
-    cached_spectrum: np.ndarray | None = None,
-) -> np.ndarray:
+    cached_spectrum: np.ndarray | None = None, record: bool = False,
+) -> np.ndarray | tuple[np.ndarray, SpectralTape]:
     """Algorithm 1: batched forward product of a block-circulant matrix.
 
     Parameters
@@ -177,10 +219,15 @@ def block_circulant_forward(
         Optional precomputed ``rfft(w)`` of shape ``(p, q, k//2 + 1)``
         (see :func:`weight_spectrum`). When given, the weight FFT — the
         dominant cost for inference-sized batches — is skipped entirely.
+    record:
+        When true, also return the :class:`SpectralTape` of spectra this
+        call computed, for :func:`block_circulant_backward` to consume —
+        the training-path analogue of ``cached_spectrum=``.
 
     Returns
     -------
-    Output blocks ``a``, shape ``(batch, p, k)``.
+    Output blocks ``a``, shape ``(batch, p, k)`` — or the pair
+    ``(a, tape)`` when ``record`` is true.
     """
     be = get_backend(backend)
     w = np.asarray(w, dtype=np.float64)
@@ -193,7 +240,16 @@ def block_circulant_forward(
         wf = cached_spectrum
         _check_spectrum_shape(wf, w.shape)
     xf = be.rfft(x_blocks)
-    return be.irfft(spectral_contract(wf, xf), n=k)
+    if record:
+        # Rearrange once to frequency-major memory behind the natural
+        # view (the SpectralWeightCache layout trick): the contraction
+        # below would have copied anyway, and the backward reuse then
+        # contracts straight from the same memory.
+        xf = np.ascontiguousarray(xf.transpose(2, 1, 0)).transpose(2, 1, 0)
+    out = be.irfft(spectral_contract(wf, xf), n=k)
+    if record:
+        return out, SpectralTape(x_blocks, xf, wf)
+    return out
 
 
 def block_circulant_apply(
@@ -239,8 +295,8 @@ def block_circulant_apply(
 
 def block_circulant_conv_forward(
     w: np.ndarray, patch_blocks: np.ndarray, backend=None, *,
-    cached_spectrum: np.ndarray | None = None,
-) -> np.ndarray:
+    cached_spectrum: np.ndarray | None = None, record: bool = False,
+) -> np.ndarray | tuple[np.ndarray, SpectralTape]:
     """Paper Eq. 7: the CONV layer's per-spatial-offset spectral product.
 
     After im2col, a block-circulant convolution is ``r²`` independent
@@ -265,10 +321,14 @@ def block_circulant_conv_forward(
         whose frequency-major layout makes the contraction zero-copy —
         the ``r²·p·q`` weight FFTs are skipped entirely, which dominates
         the cost for inference-sized batches.
+    record:
+        When true, also return the :class:`SpectralTape` of spectra this
+        call computed, for :func:`block_circulant_conv_backward`.
 
     Returns
     -------
-    Output channel blocks, shape ``(batch·positions, p, k)``.
+    Output channel blocks, shape ``(batch·positions, p, k)`` — or the
+    pair ``(blocks, tape)`` when ``record`` is true.
     """
     be = get_backend(backend)
     w = np.asarray(w, dtype=np.float64)
@@ -287,7 +347,17 @@ def block_circulant_conv_forward(
         wf = cached_spectrum
         _check_spectrum_shape(wf, w.shape)
     pf = be.rfft(patch_blocks)
-    return be.irfft(spectral_contract(wf, pf), n=k)
+    if record:
+        # Frequency-major memory behind the natural (batch, r², q, f)
+        # view — one rearrangement instead of one per contraction (see
+        # the FC record path above).
+        pf = np.ascontiguousarray(
+            pf.transpose(3, 1, 2, 0)
+        ).transpose(3, 1, 2, 0)
+    out = be.irfft(spectral_contract(wf, pf), n=k)
+    if record:
+        return out, SpectralTape(patch_blocks, pf, wf)
+    return out
 
 
 def block_circulant_backward(
@@ -297,7 +367,9 @@ def block_circulant_backward(
     backend=None,
     *,
     cached_spectrum: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+    cached_input_spectrum: np.ndarray | None = None,
+    compute_input_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
     """Algorithm 2: gradients of the block-circulant product.
 
     Parameters
@@ -311,11 +383,22 @@ def block_circulant_backward(
     cached_spectrum:
         Optional precomputed ``rfft(w)`` (see :func:`weight_spectrum`);
         skips the weight FFT exactly as in the forward pass.
+    cached_input_spectrum:
+        Optional precomputed ``rfft(x_blocks)`` — normally the
+        ``input_spectrum`` of the :class:`SpectralTape` a recording
+        forward returned. With both spectra supplied, this kernel's only
+        FFT is the one over ``grad_blocks``.
+    compute_input_grad:
+        When false, the ``∂L/∂x`` product (one GEMM + one inverse FFT) is
+        skipped entirely and ``None`` is returned in its place — for the
+        *first* trainable layer of a network, whose input gradient no one
+        consumes.
 
     Returns
     -------
     ``(grad_w, grad_x_blocks)`` with shapes ``(p, q, k)`` and
-    ``(batch, q, k)``. Both are exact gradients of
+    ``(batch, q, k)`` (``None`` when ``compute_input_grad`` is false).
+    Both are exact gradients of
     :func:`block_circulant_forward` (verified against finite differences in
     the test suite), each costing O(pqk log k) like the forward pass.
     """
@@ -339,19 +422,131 @@ def block_circulant_backward(
     else:
         wf = cached_spectrum
         _check_spectrum_shape(wf, w.shape)
-    xf = be.rfft(x_blocks)
+    if cached_input_spectrum is None:
+        xf = be.rfft(x_blocks)
+    else:
+        xf = cached_input_spectrum
+        _check_spectrum_shape(xf, x_blocks.shape)
     gf = be.rfft(grad_blocks)
     # The two einsums ("bpf,bqf->pqf" and "pqf,bpf->bqf") as per-frequency
-    # BLAS products, mirroring the forward pass.
-    grad_wf = np.matmul(
-        gf.transpose(2, 1, 0), np.conj(xf).transpose(2, 0, 1)
-    ).transpose(1, 2, 0)
+    # BLAS products, mirroring the forward pass. The weight gradient uses
+    # G ∘ conj(X) = conj(conj(G) ∘ X) so only the small grad spectrum and
+    # the small result are conjugate-copied, never the batch-sized input
+    # spectrum — whose frequency-major tape memory (see ``record=``) then
+    # feeds the GEMM as a pure stride view.
+    grad_wf = np.conj(np.matmul(
+        np.conj(gf.transpose(2, 1, 0)), xf.transpose(2, 0, 1)
+    )).transpose(1, 2, 0)
+    grad_w = be.irfft(grad_wf, n=k)
+    if not compute_input_grad:
+        return grad_w, None
     grad_xf = np.matmul(
         gf.transpose(2, 0, 1), np.conj(wf).transpose(2, 0, 1)
     ).transpose(1, 2, 0)
-    grad_w = be.irfft(grad_wf, n=k)
     grad_x = be.irfft(grad_xf, n=k)
     return grad_w, grad_x
+
+
+def block_circulant_conv_backward(
+    w: np.ndarray,
+    patch_blocks: np.ndarray,
+    grad_blocks: np.ndarray,
+    backend=None,
+    *,
+    cached_spectrum: np.ndarray | None = None,
+    cached_patch_spectrum: np.ndarray | None = None,
+    compute_patch_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Gradients of :func:`block_circulant_conv_forward` (paper Eq. 8–9).
+
+    Evaluates the two gradient contractions — the einsums
+    ``"bif,bsjf->sijf"`` (weight gradient, a cross-correlation against the
+    conjugated patch spectra) and ``"sijf,bif->bsjf"`` (patch gradient,
+    against the conjugated weight spectra) — as frequency-major
+    per-frequency BLAS GEMMs, the exact formulation
+    :func:`spectral_contract` gives the forward pass: the spatial-offset
+    axis folds into the contracted/output dimension of length ``r²·q``.
+
+    Parameters
+    ----------
+    w:
+        Defining vectors ``(r², p, q, k)``.
+    patch_blocks:
+        Forward patch blocks ``(batch·positions, r², q, k)``.
+    grad_blocks:
+        ``∂L/∂y`` output channel blocks, shape ``(batch·positions, p, k)``.
+    cached_spectrum:
+        Optional precomputed ``rfft(w)`` (see :func:`weight_spectrum`).
+    cached_patch_spectrum:
+        Optional precomputed ``rfft(patch_blocks)`` — normally the
+        ``input_spectrum`` of the :class:`SpectralTape` a recording
+        forward returned. With both spectra supplied, this kernel's only
+        FFT is the one over ``grad_blocks``.
+    compute_patch_grad:
+        When false, the patch-gradient product — the largest GEMM and
+        inverse FFT of the backward pass — is skipped and ``None``
+        returned in its place, for a first-layer convolution whose input
+        gradient no one consumes.
+
+    Returns
+    -------
+    ``(grad_w, grad_patch_blocks)`` with shapes ``(r², p, q, k)`` and
+    ``(batch·positions, r², q, k)`` (``None`` when ``compute_patch_grad``
+    is false).
+    """
+    be = get_backend(backend)
+    w = np.asarray(w, dtype=np.float64)
+    patch_blocks = np.asarray(patch_blocks, dtype=np.float64)
+    grad_blocks = np.asarray(grad_blocks, dtype=np.float64)
+    if w.ndim != 4:
+        raise ShapeError(f"weights must be (r², p, q, k), got shape {w.shape}")
+    s, p, q, k = w.shape
+    if patch_blocks.ndim != 4 or patch_blocks.shape[1:] != (s, q, k):
+        raise ShapeError(
+            f"patch blocks must be (batch, {s}, {q}, {k}), "
+            f"got {patch_blocks.shape}"
+        )
+    if grad_blocks.ndim != 3 or grad_blocks.shape[1:] != (p, k):
+        raise ShapeError(
+            f"grad blocks must be (batch, {p}, {k}), got {grad_blocks.shape}"
+        )
+    if grad_blocks.shape[0] != patch_blocks.shape[0]:
+        raise ShapeError(
+            "grad batch "
+            f"{grad_blocks.shape[0]} != patch batch {patch_blocks.shape[0]}"
+        )
+    if cached_spectrum is None:
+        wf = be.rfft(w)
+    else:
+        wf = cached_spectrum
+        _check_spectrum_shape(wf, w.shape)
+    if cached_patch_spectrum is None:
+        pf = be.rfft(patch_blocks)
+    else:
+        pf = cached_patch_spectrum
+        _check_spectrum_shape(pf, patch_blocks.shape)
+    gf = be.rfft(grad_blocks)
+    batch, f = gf.shape[0], gf.shape[-1]
+    # Weight gradient "bif,bsjf->sijf" as (f, p, batch) @ (f, batch, r²·q),
+    # using G ∘ conj(P) = conj(conj(G) ∘ P) so only the small grad
+    # spectrum and the small result are conjugate-copied, never the large
+    # patch spectrum — whose frequency-major tape memory (``record=``)
+    # makes the rhs below a pure stride view into the recorded spectra.
+    grad_wf = np.conj(np.matmul(
+        np.conj(gf.transpose(2, 1, 0)),
+        pf.transpose(3, 0, 1, 2).reshape(f, batch, s * q),
+    )).reshape(f, p, s, q).transpose(2, 1, 3, 0)
+    grad_w = be.irfft(grad_wf, n=k)
+    if not compute_patch_grad:
+        return grad_w, None
+    # Patch gradient "sijf,bif->bsjf": (f, batch, p) @ (f, p, r²·q) — the
+    # right operand is the forward pass's lhs layout, conjugated (the
+    # weight spectrum is small, so the direct conjugate copy is fine).
+    grad_pf = np.matmul(
+        gf.transpose(2, 0, 1),
+        np.conj(wf.transpose(3, 1, 0, 2)).reshape(f, p, s * q),
+    ).reshape(f, batch, s, q).transpose(1, 2, 3, 0)
+    return grad_w, be.irfft(grad_pf, n=k)
 
 
 def expand_to_dense(w: np.ndarray, m: int | None = None,

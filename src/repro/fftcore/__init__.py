@@ -38,6 +38,7 @@ from repro.fftcore.ops_count import (
     real_fft_ops,
 )
 from repro.fftcore.backend import (
+    CountingFFTBackend,
     FFTBackend,
     available_backends,
     clear_plan_caches,
@@ -59,6 +60,7 @@ __all__ = [
     "real_fft_butterflies",
     "real_fft_ops",
     "FFTBackend",
+    "CountingFFTBackend",
     "available_backends",
     "clear_plan_caches",
     "get_backend",

@@ -120,6 +120,57 @@ class Radix2FFTBackend(FFTBackend):
         return irfft_real(x, n=n)
 
 
+class CountingFFTBackend(FFTBackend):
+    """Delegating wrapper that counts transform *calls* per method.
+
+    Every kernel in :mod:`repro.circulant.ops` issues one batched
+    transform call per tensor, so the counters measure exactly the
+    quantity the spectral caches and the training tape are meant to
+    shrink — e.g. the tape's 5-to-3 rfft reduction for one
+    ``BlockCirculantDense`` train step. Pass an instance anywhere a
+    backend name is accepted (layer constructors, kernel ``backend=``
+    arguments); :func:`get_backend` returns instances unchanged.
+
+    Intended for tests and benchmarks; instances share cache keys by
+    wrapped-backend name, so don't mix two counters of the same inner
+    backend on one :class:`~repro.circulant.spectral_cache.SpectralWeightCache`.
+    """
+
+    def __init__(self, inner: "str | FFTBackend | None" = None):
+        super().__init__()
+        self.inner = get_backend(inner)
+        self.name = f"counting({self.inner.name})"
+        self.counts = {"fft": 0, "ifft": 0, "rfft": 0, "irfft": 0}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for key in self.counts:
+            self.counts[key] = 0
+
+    def total(self) -> int:
+        """Sum of all transform calls since construction / last reset."""
+        return sum(self.counts.values())
+
+    def fft(self, x: np.ndarray) -> np.ndarray:
+        self.counts["fft"] += 1
+        return self.inner.fft(x)
+
+    def ifft(self, x: np.ndarray) -> np.ndarray:
+        self.counts["ifft"] += 1
+        return self.inner.ifft(x)
+
+    def rfft(self, x: np.ndarray) -> np.ndarray:
+        self.counts["rfft"] += 1
+        return self.inner.rfft(x)
+
+    def irfft(self, x: np.ndarray, n: int) -> np.ndarray:
+        self.counts["irfft"] += 1
+        return self.inner.irfft(x, n)
+
+    def __repr__(self) -> str:
+        return f"<CountingFFTBackend {self.inner.name} {self.counts}>"
+
+
 _BACKENDS: dict[str, FFTBackend] = {
     "numpy": NumpyFFTBackend(),
     "radix2": Radix2FFTBackend(),

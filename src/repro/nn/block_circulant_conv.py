@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.circulant.ops import block_circulant_conv_forward, block_dims
+from repro.circulant.ops import (
+    SpectralTape,
+    block_circulant_conv_backward,
+    block_circulant_conv_forward,
+    block_dims,
+)
 from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.errors import ShapeError
 from repro.fftcore.backend import get_backend
@@ -68,10 +73,15 @@ class BlockCirculantConv2D(Module):
         self.bias = (
             self.add_parameter("bias", zeros((out_channels,))) if bias else None
         )
-        self._patch_blocks: np.ndarray | None = None
+        self._tape: SpectralTape | None = None
         self._geometry: tuple[int, int, int] | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
         self.spectral_cache: SpectralWeightCache | None = None
+        #: Set False on the *first* trainable layer of a network to skip
+        #: the patch-gradient product and col2im in backward — the
+        #: largest GEMM and inverse FFT of the conv backward pass, whose
+        #: result nobody consumes there; ``backward`` then returns None.
+        self.needs_input_grad: bool = True
 
     # -- metadata -----------------------------------------------------------
     @property
@@ -133,14 +143,35 @@ class BlockCirculantConv2D(Module):
             self.bias.freeze()
         return self
 
+    def attach_spectral_cache(
+        self, cache: SpectralWeightCache | None = None
+    ) -> "BlockCirculantConv2D":
+        """Attach a weight-spectrum cache without freezing or eval mode.
+
+        Training-mode counterpart of :meth:`compile_inference` — same
+        contract as :meth:`BlockCirculantDense.attach_spectral_cache`:
+        the ``(r², p, q)`` spectrum is version-checked per lookup, so
+        unchanged weights skip the ``r²·p·q`` weight FFTs while optimiser
+        steps invalidate as usual. As there, training mode does not
+        freeze the array, so in-place element writes must be followed by
+        ``mark_updated()`` (pure ``.value`` assignments need nothing).
+        Returns self.
+        """
+        self.spectral_cache = cache if cache is not None else SpectralWeightCache()
+        return self
+
     def _weight_spectrum(self, be=None) -> np.ndarray | None:
-        """Cached ``rfft(weight)`` when serving from the spectral cache."""
-        if self.spectral_cache is None or self.training:
+        """Cached ``rfft(weight)`` when a spectral cache is attached.
+
+        In training mode the lookup is version-checked per step; the
+        serving-path freeze is only maintained in eval mode.
+        """
+        if self.spectral_cache is None:
             return None
         spectrum = self.spectral_cache.spectrum(
             self.weight, be if be is not None else self.backend
         )
-        if not self.weight.frozen:
+        if not self.training and not self.weight.frozen:
             # A legitimate update thawed the array; the cache just
             # refreshed from it, so re-freeze to keep the
             # element-writes-raise guarantee for as long as we serve.
@@ -176,18 +207,23 @@ class BlockCirculantConv2D(Module):
             batch * positions, self.field**2, self.in_channels
         )
         patch_blocks = self._partition_patches(patches)
-        if record:
-            self._input_shape = x.shape
-            self._geometry = (batch, out_h, out_w)
-            self._patch_blocks = patch_blocks
         k = self.block_size
         # Same contraction kernel as BlockCirculantDense: one complex BLAS
         # GEMM per frequency bin, weight FFT skipped when a cached
-        # spectrum is being served.
-        y_blocks = block_circulant_conv_forward(
-            self.weight.value, patch_blocks, be,
-            cached_spectrum=self._weight_spectrum(be),
-        )
+        # spectrum is being served. A recording forward keeps the
+        # SpectralTape so backward reuses the weight and patch spectra.
+        if record:
+            self._input_shape = x.shape
+            self._geometry = (batch, out_h, out_w)
+            y_blocks, self._tape = block_circulant_conv_forward(
+                self.weight.value, patch_blocks, be,
+                cached_spectrum=self._weight_spectrum(be), record=True,
+            )
+        else:
+            y_blocks = block_circulant_conv_forward(
+                self.weight.value, patch_blocks, be,
+                cached_spectrum=self._weight_spectrum(be),
+            )
         out = y_blocks.reshape(batch * positions, self.pp * k)
         out = out[:, : self.out_channels]
         if self.bias is not None:
@@ -205,8 +241,8 @@ class BlockCirculantConv2D(Module):
         """Reentrant serving forward: identical pipeline, no state writes."""
         return self._run_forward(x, record=False)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._patch_blocks is None or self._geometry is None:
+    def backward(self, grad_output: np.ndarray) -> np.ndarray | None:
+        if self._tape is None or self._geometry is None:
             raise RuntimeError("backward called before forward")
         be = get_backend(self.backend)
         batch, out_h, out_w = self._geometry
@@ -224,19 +260,30 @@ class BlockCirculantConv2D(Module):
         if self.bias is not None:
             self.bias.grad += grad_flat.sum(axis=0)
         if self.out_channels < self.pp * k:
-            padded = np.zeros((batch * positions, self.pp * k))
+            padded = np.zeros(
+                (batch * positions, self.pp * k), dtype=np.float64
+            )
             padded[:, : self.out_channels] = grad_flat
             grad_flat = padded
         grad_blocks = grad_flat.reshape(batch * positions, self.pp, k)
-        wf = self._weight_spectrum(be)
-        if wf is None:
-            wf = be.rfft(self.weight.value)
-        pf = be.rfft(self._patch_blocks)
-        gf = be.rfft(grad_blocks)
-        grad_wf = np.einsum("bif,bsjf->sijf", gf, np.conj(pf), optimize=True)
-        grad_pf = np.einsum("sijf,bif->bsjf", np.conj(wf), gf, optimize=True)
-        self.weight.grad += be.irfft(grad_wf, n=k)
-        grad_patches = be.irfft(grad_pf, n=k).reshape(
+        # Replay the tape: the weight and patch spectra were recorded by
+        # forward, so rfft(grad) is the step's only new FFT, and both
+        # gradient contractions run as the same frequency-major
+        # per-frequency GEMMs as the forward spectral_contract.
+        grad_w, grad_pblocks = block_circulant_conv_backward(
+            self.weight.value, self._tape.blocks, grad_blocks, be,
+            cached_spectrum=self._tape.weight_spectrum,
+            cached_patch_spectrum=self._tape.input_spectrum,
+            compute_patch_grad=self.needs_input_grad,
+        )
+        # The tape (patch blocks + batch-sized complex spectrum) is
+        # consumed; release it rather than pinning tens of MB across the
+        # optimiser step and beyond.
+        self._tape = None
+        self.weight.grad += grad_w
+        if grad_pblocks is None:
+            return None
+        grad_patches = grad_pblocks.reshape(
             batch * positions, self.field**2, self.qc * k
         )[:, :, : self.in_channels]
         grad_cols = grad_patches.reshape(

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circulant.ops import (
+    SpectralTape,
     block_circulant_apply,
     block_circulant_backward,
     block_circulant_forward,
@@ -58,8 +59,12 @@ class BlockCirculantDense(Module):
         self.bias = (
             self.add_parameter("bias", zeros((out_features,))) if bias else None
         )
-        self._input_blocks: np.ndarray | None = None
+        self._tape: SpectralTape | None = None
         self.spectral_cache: SpectralWeightCache | None = None
+        #: Set False on the *first* trainable layer of a network to skip
+        #: the ∂L/∂x product in backward (nobody consumes it there);
+        #: ``backward`` then returns None instead of the input gradient.
+        self.needs_input_grad: bool = True
 
     # -- metadata -----------------------------------------------------------
     @property
@@ -107,12 +112,38 @@ class BlockCirculantDense(Module):
             self.bias.freeze()
         return self
 
+    def attach_spectral_cache(
+        self, cache: SpectralWeightCache | None = None
+    ) -> "BlockCirculantDense":
+        """Attach a weight-spectrum cache without freezing or eval mode.
+
+        The training-mode entry point to the spectral engine: unlike
+        :meth:`compile_inference` this neither switches modes nor freezes
+        the parameters, so the optimiser keeps working. The cached weight
+        spectrum is version-checked on every lookup — unchanged weights
+        (gradient accumulation over several forwards, eval-within-train
+        validation passes) reuse it, and each optimiser step's ``.value``
+        assignment invalidates it. Because the array is *not* frozen in
+        training mode, in-place element writes (``weight.value[0] = x``)
+        bypass the version counter and would serve a stale spectrum —
+        spell updates as pure ``.value`` assignments or call
+        ``mark_updated()`` after mutating in place. Returns self.
+        """
+        self.spectral_cache = cache if cache is not None else SpectralWeightCache()
+        return self
+
     def _weight_spectrum(self) -> np.ndarray | None:
-        """Cached ``rfft(weight)`` when serving from the spectral cache."""
-        if self.spectral_cache is None or self.training:
+        """Cached ``rfft(weight)`` when a spectral cache is attached.
+
+        In training mode the lookup is version-checked per step (stale
+        after every optimiser assignment, reused across multi-forward
+        accumulation and eval-within-train); the serving-path freeze is
+        only maintained in eval mode.
+        """
+        if self.spectral_cache is None:
             return None
         spectrum = self.spectral_cache.spectrum(self.weight, self.backend)
-        if not self.weight.frozen:
+        if not self.training and not self.weight.frozen:
             # A legitimate update (optimiser step, requantise) thawed the
             # array; the cache just refreshed from it, so re-freeze to keep
             # the element-writes-raise guarantee for as long as we serve.
@@ -125,8 +156,10 @@ class BlockCirculantDense(Module):
         The serving path hands flat rows straight to the batch-major
         :func:`~repro.circulant.ops.block_circulant_apply` ops entry; the
         training path runs the same partition → spectral GEMM →
-        unpartition steps explicitly (bit-identical) because ``backward``
-        needs the intermediate input blocks.
+        unpartition steps explicitly (bit-identical) with ``record=True``,
+        because ``backward`` consumes the resulting
+        :class:`~repro.circulant.ops.SpectralTape` — input blocks plus
+        the weight and input spectra this forward already computed.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.in_features:
@@ -135,14 +168,12 @@ class BlockCirculantDense(Module):
                 f"got {x.shape}"
             )
         if record:
-            self._input_blocks = partition_vector(x, self.block_size, self.q)
-            out = unpartition_vector(
-                block_circulant_forward(
-                    self.weight.value, self._input_blocks, self.backend,
-                    cached_spectrum=self._weight_spectrum(),
-                ),
-                self.out_features,
+            blocks = partition_vector(x, self.block_size, self.q)
+            out_blocks, self._tape = block_circulant_forward(
+                self.weight.value, blocks, self.backend,
+                cached_spectrum=self._weight_spectrum(), record=True,
             )
+            out = unpartition_vector(out_blocks, self.out_features)
         else:
             out = block_circulant_apply(
                 self.weight.value, x, self.out_features, self.backend,
@@ -160,8 +191,8 @@ class BlockCirculantDense(Module):
         so many threads can share one compiled layer."""
         return self._run_forward(x, record=False)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._input_blocks is None:
+    def backward(self, grad_output: np.ndarray) -> np.ndarray | None:
+        if self._tape is None:
             raise RuntimeError("backward called before forward")
         grad_output = np.asarray(grad_output, dtype=np.float64)
         if grad_output.ndim != 2 or grad_output.shape[1] != self.out_features:
@@ -174,11 +205,21 @@ class BlockCirculantDense(Module):
         # Zero-pad the output gradient into (batch, p, k) blocks; padded
         # output rows were dropped in forward, so their gradient is zero.
         grad_blocks = partition_vector(grad_output, self.block_size, self.p)
+        # Replay the tape: both spectra Eq. 8-9 need besides rfft(grad)
+        # were recorded by forward, so this is the step's only new FFT.
         grad_w, grad_x_blocks = block_circulant_backward(
-            self.weight.value, self._input_blocks, grad_blocks, self.backend,
-            cached_spectrum=self._weight_spectrum(),
+            self.weight.value, self._tape.blocks, grad_blocks, self.backend,
+            cached_spectrum=self._tape.weight_spectrum,
+            cached_input_spectrum=self._tape.input_spectrum,
+            compute_input_grad=self.needs_input_grad,
         )
+        # The tape (blocks + batch-sized complex spectrum) is consumed;
+        # release it rather than pinning the memory across the optimiser
+        # step and beyond.
+        self._tape = None
         self.weight.grad += grad_w
+        if grad_x_blocks is None:
+            return None
         return unpartition_vector(grad_x_blocks, self.in_features)
 
     def __repr__(self) -> str:

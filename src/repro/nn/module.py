@@ -113,6 +113,10 @@ class Module:
     - ``backward(grad_output)`` *accumulates* gradients into each
       parameter's ``.grad`` and returns the gradient with respect to the
       layer input. It must be called after the matching ``forward``.
+      Layers supporting a ``needs_input_grad=False`` first-layer skip
+      (the block-circulant layers) return ``None`` instead of the input
+      gradient when that flag is cleared; ``Sequential.backward`` stops
+      there rather than passing ``None`` upstream.
     - ``training`` toggles train/eval behaviour (dropout etc.).
     """
 

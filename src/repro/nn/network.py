@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circulant.spectral_cache import SpectralWeightCache
+from repro.errors import ConfigurationError
 from repro.nn.module import Module, Parameter
 
 
@@ -38,9 +39,29 @@ class Sequential(Module):
             x = layer.inference_forward(x)
         return x
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
+    def backward(self, grad_output: np.ndarray) -> np.ndarray | None:
+        for index, layer in enumerate(reversed(self.layers)):
             grad_output = layer.backward(grad_output)
+            if grad_output is None:
+                # A layer declared it needs no input gradient
+                # (``needs_input_grad=False``, meant for the *first*
+                # trainable layer). Stop instead of handing None to
+                # earlier layers — but refuse to silently starve an
+                # earlier trainable layer of its gradients.
+                remaining = self.layers[: len(self.layers) - 1 - index]
+                starved = [
+                    earlier for earlier in remaining
+                    if earlier.num_parameters() > 0
+                ]
+                if starved:
+                    raise ConfigurationError(
+                        f"{layer!r} returned no input gradient "
+                        "(needs_input_grad=False) but earlier trainable "
+                        f"layers {starved!r} still need theirs; only the "
+                        "first trainable layer may skip its input "
+                        "gradient"
+                    )
+                break
         return grad_output
 
     def parameters(self) -> list[Parameter]:
@@ -72,9 +93,11 @@ class Sequential(Module):
         ``Sequential`` and any other layer exposing ``compile_inference``
         — precomputing each weight spectrum so eval-mode forwards skip
         the weight FFT entirely. Safe to call more than once and safe to
-        keep training afterwards: training-mode forwards bypass the
-        cache, and weight updates invalidate entries by parameter
-        version. Quantised serving composes the same way:
+        keep training afterwards: weight updates invalidate entries by
+        parameter version, so training-mode forwards reuse a spectrum
+        only while the weights are genuinely unchanged (see
+        :meth:`attach_spectral_cache` for the training-first entry
+        point). Quantised serving composes the same way:
         ``quantized_view(net, bits, bits).compile_inference()`` warms
         spectra from the fake-quantised weights (see
         ``docs/spectral_engine.md``). Returns self.
@@ -87,6 +110,27 @@ class Sequential(Module):
                 compile_layer(self._spectral_cache)
         return self
 
+    def attach_spectral_cache(
+        self, cache: SpectralWeightCache | None = None
+    ) -> "Sequential":
+        """Share one weight-spectrum cache across layers *without* freezing.
+
+        The training-mode entry point to the spectral engine
+        (``docs/spectral_training.md``): unlike :meth:`compile_inference`
+        it leaves every layer's mode and parameter writeability alone, so
+        optimisers keep working. Each block-circulant layer's weight
+        spectrum is then version-checked per lookup — reused across
+        multi-forward gradient accumulation and eval-within-train
+        validation passes, recomputed after every optimiser assignment.
+        Returns self.
+        """
+        self._spectral_cache = cache if cache is not None else SpectralWeightCache()
+        for layer in self.layers:
+            attach = getattr(layer, "attach_spectral_cache", None)
+            if attach is not None:
+                attach(self._spectral_cache)
+        return self
+
     @property
     def spectral_cache(self) -> SpectralWeightCache | None:
         """The shared weight-spectrum cache, once compiled (else None)."""
@@ -94,7 +138,8 @@ class Sequential(Module):
 
     @property
     def is_compiled(self) -> bool:
-        """True once ``compile_inference`` has attached a spectral cache."""
+        """True once a spectral cache is attached (``compile_inference``
+        or ``attach_spectral_cache``)."""
         return self.spectral_cache is not None
 
     @property

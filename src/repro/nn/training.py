@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.nn.losses import SoftmaxCrossEntropyLoss
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
@@ -35,15 +35,32 @@ class TrainingHistory:
 
 def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
                         rng=None, shuffle: bool = True):
-    """Yield ``(x_batch, y_batch)`` slices covering the whole dataset."""
+    """Return an iterator of ``(x_batch, y_batch)`` slices covering the
+    whole dataset. Invalid arguments raise *eagerly*, at the call, not on
+    first iteration."""
+    _ensure_batch_size(batch_size)
     if len(x) != len(y):
         raise ShapeError(f"x has {len(x)} rows but y has {len(y)}")
+    return _iterate_minibatches(x, y, batch_size, rng, shuffle)
+
+
+def _iterate_minibatches(x, y, batch_size, rng, shuffle):
     order = np.arange(len(x))
     if shuffle:
         make_rng(rng).shuffle(order)
     for start in range(0, len(x), batch_size):
         chosen = order[start : start + batch_size]
         yield x[chosen], y[chosen]
+
+
+def _ensure_batch_size(batch_size: int) -> None:
+    # range(0, n, batch_size) raises a bare ValueError for 0 and silently
+    # yields nothing for negatives — an epoch that "succeeds" on zero
+    # batches — so reject both up front.
+    if batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
 
 
 class Trainer:
@@ -58,30 +75,63 @@ class Trainer:
 
     def train_epoch(self, x: np.ndarray, y: np.ndarray,
                     batch_size: int = 32) -> tuple[float, float]:
-        """One pass over the data; returns (mean loss, accuracy)."""
+        """One pass over the data; returns (mean loss, accuracy).
+
+        An empty dataset has no defined mean loss (``total / 0``), so it
+        raises :class:`~repro.errors.ConfigurationError` — the same
+        empty-batch policy as ``repro.quant.network_accuracy``. The
+        network's prior train/eval mode is restored even if a forward
+        raises mid-epoch.
+        """
+        if len(x) == 0:
+            raise ConfigurationError(
+                "train_epoch received an empty dataset; mean loss over "
+                "zero samples is undefined"
+            )
+        was_training = self.network.training
         self.network.train()
         total_loss = 0.0
         correct = 0
-        for bx, by in iterate_minibatches(x, y, batch_size, self.rng):
-            logits = self.network(bx)
-            batch_loss = self.loss.forward(logits, by)
-            self.optimizer.zero_grad()
-            self.network.backward(self.loss.backward())
-            self.optimizer.step()
-            total_loss += batch_loss * len(bx)
-            correct += int(np.sum(self.loss.predictions() == by))
+        try:
+            for bx, by in iterate_minibatches(x, y, batch_size, self.rng):
+                logits = self.network(bx)
+                batch_loss = self.loss.forward(logits, by)
+                self.optimizer.zero_grad()
+                self.network.backward(self.loss.backward())
+                self.optimizer.step()
+                total_loss += batch_loss * len(bx)
+                correct += int(np.sum(self.loss.predictions() == by))
+        finally:
+            self.network.train(was_training)
         return total_loss / len(x), correct / len(x)
 
     def evaluate(self, x: np.ndarray, y: np.ndarray,
                  batch_size: int = 256) -> float:
-        """Classification accuracy in eval mode (dropout disabled)."""
+        """Classification accuracy in eval mode (dropout disabled).
+
+        Empty evaluation sets raise
+        :class:`~repro.errors.ConfigurationError` (accuracy over zero
+        samples is undefined), and the network's prior train/eval mode is
+        restored even if a forward raises mid-pass.
+        """
+        _ensure_batch_size(batch_size)
+        if len(x) == 0:
+            raise ConfigurationError(
+                "evaluate received an empty dataset; accuracy over zero "
+                "samples is undefined"
+            )
+        was_training = self.network.training
         self.network.eval()
         correct = 0
-        for start in range(0, len(x), batch_size):
-            logits = self.network(x[start : start + batch_size])
-            predictions = np.argmax(logits, axis=1)
-            correct += int(np.sum(predictions == y[start : start + batch_size]))
-        self.network.train()
+        try:
+            for start in range(0, len(x), batch_size):
+                logits = self.network(x[start : start + batch_size])
+                predictions = np.argmax(logits, axis=1)
+                correct += int(
+                    np.sum(predictions == y[start : start + batch_size])
+                )
+        finally:
+            self.network.train(was_training)
         return correct / len(x)
 
     def fit(self, x: np.ndarray, y: np.ndarray, epochs: int,

@@ -36,11 +36,18 @@ class ModelRegistry:
 
     @staticmethod
     def _prepare(network, compile: bool):
-        if (
-            compile
-            and hasattr(network, "compile_inference")
-            and getattr(network, "spectral_cache", None) is None
-        ):
+        # "Has a spectral cache" is no longer proof of serving-readiness:
+        # attach_spectral_cache() (training mode) attaches one without
+        # freezing or warming. Compile unless every parameter is actually
+        # frozen — i.e. compile_inference() ran and nothing thawed since.
+        needs_compile = compile and hasattr(network, "compile_inference") and (
+            getattr(network, "spectral_cache", None) is None
+            or not all(
+                getattr(p, "frozen", True)
+                for p in getattr(network, "parameters", list)()
+            )
+        )
+        if needs_compile:
             network.compile_inference()  # puts the network in eval mode
         elif hasattr(network, "eval"):
             # Already compiled (or compile=False): still force eval mode —
@@ -54,8 +61,10 @@ class ModelRegistry:
         """Add a new endpoint; raises if ``name`` is already taken.
 
         By default the network is compiled for serving
-        (``compile_inference()``) unless it already carries a spectral
-        cache. Returns the (compiled) network.
+        (``compile_inference()``) unless it is already fully compiled —
+        a warm spectral cache *and* every parameter frozen (a cache
+        attached by ``attach_spectral_cache()`` for training does not
+        count). Returns the (compiled) network.
         """
         # Prepare outside the lock: compile_inference() computes every
         # weight spectrum eagerly, and holding the lock for that long

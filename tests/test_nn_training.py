@@ -133,6 +133,16 @@ class TestMinibatches:
         with pytest.raises(Exception):
             list(iterate_minibatches(rng.normal(size=(5, 2)), np.arange(4), 2))
 
+    @pytest.mark.parametrize("batch_size", [0, -1, -32])
+    def test_non_positive_batch_size_rejected(self, rng, batch_size):
+        # batch_size=0 used to surface as a bare ValueError from range();
+        # negatives silently yielded nothing, so an "epoch" trained on
+        # zero batches. Both are configuration errors now — raised
+        # eagerly at the call, before any iteration.
+        x, y = rng.normal(size=(6, 2)), np.arange(6)
+        with pytest.raises(ConfigurationError, match=str(batch_size)):
+            iterate_minibatches(x, y, batch_size)
+
 
 class TestTrainer:
     def test_dense_net_learns(self, rng):
@@ -168,4 +178,50 @@ class TestTrainer:
         net = Sequential(Dense(12, 3, seed=0), Dropout(0.2, seed=0))
         trainer = Trainer(net, SGD(net.parameters(), lr=0.01), seed=0)
         trainer.evaluate(data, labels)
+        assert net.training
+
+    def test_empty_dataset_raises(self, rng):
+        net = Sequential(Dense(12, 3, seed=0))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01), seed=0)
+        empty_x, empty_y = np.zeros((0, 12)), np.zeros((0,), dtype=int)
+        # Used to hit ZeroDivisionError at total_loss / len(x); now the
+        # same empty-batch policy as quant.network_accuracy(on_empty=raise).
+        with pytest.raises(ConfigurationError):
+            trainer.train_epoch(empty_x, empty_y)
+        with pytest.raises(ConfigurationError):
+            trainer.evaluate(empty_x, empty_y)
+
+    def test_trainer_non_positive_batch_size_rejected(self, rng):
+        data, labels = _toy_problem(rng, n=20)
+        net = Sequential(Dense(12, 3, seed=0))
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01), seed=0)
+        with pytest.raises(ConfigurationError):
+            trainer.train_epoch(data, labels, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            trainer.evaluate(data, labels, batch_size=-8)
+
+    def test_mode_restored_when_forward_raises_mid_epoch(self, rng):
+        class Exploding(Dense):
+            def __init__(self):
+                super().__init__(12, 3, seed=0)
+                self.calls = 0
+
+            def forward(self, x):
+                self.calls += 1
+                if self.calls > 1:
+                    raise RuntimeError("boom")
+                return super().forward(x)
+
+        data, labels = _toy_problem(rng, n=40)
+        net = Sequential(Exploding())
+        trainer = Trainer(net, SGD(net.parameters(), lr=0.01), seed=0)
+        net.eval()  # prior mode: eval
+        with pytest.raises(RuntimeError, match="boom"):
+            trainer.train_epoch(data, labels, batch_size=16)
+        assert not net.training  # restored despite the mid-epoch raise
+
+        net.train()  # prior mode: train; evaluate must restore it too
+        net.layers[0].calls = 0
+        with pytest.raises(RuntimeError, match="boom"):
+            trainer.evaluate(data, labels, batch_size=16)
         assert net.training

@@ -354,13 +354,22 @@ class TestCompileInference:
             layer.spectral_cache = cache
         np.testing.assert_allclose(after, uncached, atol=1e-12)
 
-    def test_training_mode_bypasses_cache(self, rng):
+    def test_training_mode_version_checks_cache(self, rng):
+        # Training no longer disables the cache outright: unchanged
+        # weights hit the cached spectrum (multi-forward accumulation,
+        # eval-within-train), and a weight update invalidates by version.
         layer = BlockCirculantDense(16, 16, 4, seed=0)
         layer.compile_inference()
-        hits_before = layer.spectral_cache.stats()["hits"]
         layer.train()
-        layer.forward(rng.normal(size=(2, 16)))
-        assert layer.spectral_cache.stats()["hits"] == hits_before
+        x = rng.normal(size=(2, 16))
+        hits_before = layer.spectral_cache.stats()["hits"]
+        layer.forward(x)
+        layer.forward(x)
+        assert layer.spectral_cache.stats()["hits"] == hits_before + 2
+        misses_before = layer.spectral_cache.stats()["misses"]
+        layer.weight.value = layer.weight.value * 0.5
+        layer.forward(x)
+        assert layer.spectral_cache.stats()["misses"] == misses_before + 1
 
     def test_compile_on_radix2_backend(self, rng):
         layer_np = BlockCirculantDense(16, 16, 4, seed=7)
