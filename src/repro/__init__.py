@@ -37,6 +37,8 @@ from repro.errors import (
     NotPowerOfTwoError,
     ReproError,
     ShapeError,
+    StoreError,
+    StoreIntegrityError,
 )
 
 __version__ = "1.0.0"
@@ -49,4 +51,6 @@ __all__ = [
     "ConfigurationError",
     "ConvergenceError",
     "BackendError",
+    "StoreError",
+    "StoreIntegrityError",
 ]

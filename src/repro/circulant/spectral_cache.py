@@ -53,6 +53,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circulant.ops import weight_spectrum
+from repro.errors import ShapeError
 from repro.fftcore.backend import get_backend
 
 
@@ -133,6 +134,53 @@ class SpectralWeightCache:
         with self._lock:
             self.misses += 1
             self._entries[key] = _CacheEntry(spectrum, version)
+            owner = self._owners.get(pid)
+            if owner is None or owner() is not param:
+                self._owners[pid] = weakref.ref(param, self._make_purge(pid))
+        return spectrum
+
+    def seed(self, param, spectrum: np.ndarray, backend=None) -> np.ndarray:
+        """Install a precomputed spectrum for ``param`` without any FFT.
+
+        The cold-start entry point of the model-artifact store
+        (:mod:`repro.store`): an artifact carries the frequency-major
+        half-spectra a previous ``compile_inference()`` computed, and
+        seeding them here reconstructs a warm cache with **zero**
+        transform calls — the loaded network serves its first batch
+        without recomputing a single FFT.
+
+        ``spectrum`` must have the shape :func:`~repro.circulant.ops.weight_spectrum`
+        would produce for ``param.value`` — same leading axes, last axis
+        ``k//2 + 1`` complex bins. The entry is stored against the
+        parameter's *current* version, so a later ``.value`` assignment
+        invalidates it exactly like a computed entry; the caller is
+        responsible for the seeded values actually matching the parameter
+        (the store guarantees this via its content hash). The array is
+        adopted as-is — no copy, no re-layout — and returned read-only;
+        callers wanting the zero-copy GEMM path should hand in
+        frequency-major memory (the layout ``spectrum`` lookups produce
+        and the store round-trips).
+        """
+        be = get_backend(backend)
+        value = param.value
+        expected = value.shape[:-1] + (value.shape[-1] // 2 + 1,)
+        spectrum = np.asarray(spectrum)
+        if spectrum.shape != expected:
+            raise ShapeError(
+                f"seeded spectrum has shape {spectrum.shape}, expected "
+                f"{expected} for a parameter of shape {value.shape}"
+            )
+        if not np.iscomplexobj(spectrum):
+            raise ShapeError(
+                f"seeded spectrum must be complex, got dtype {spectrum.dtype}"
+            )
+        # A view keeps the caller's array flags intact while guaranteeing
+        # the cached alias can never be written through.
+        spectrum = spectrum.view()
+        spectrum.setflags(write=False)
+        pid = id(param)
+        with self._lock:
+            self._entries[(pid, be.name)] = _CacheEntry(spectrum, param.version)
             owner = self._owners.get(pid)
             if owner is None or owner() is not param:
                 self._owners[pid] = weakref.ref(param, self._make_purge(pid))

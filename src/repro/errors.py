@@ -34,3 +34,20 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class BackendError(ReproError, ValueError):
     """An unknown or unavailable compute backend was requested."""
+
+
+class StoreError(ReproError, ValueError):
+    """A model-artifact store operation failed (see :mod:`repro.store`).
+
+    Covers malformed or truncated manifests, unknown codecs, unsupported
+    layer types, and artifacts written by an incompatible format version.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """Stored artifact bytes fail their integrity check.
+
+    Raised when a chunk's checksum no longer matches its recorded value
+    (bit rot, truncated write, concurrent overwrite) or when an artifact's
+    content hash does not match its manifest.
+    """

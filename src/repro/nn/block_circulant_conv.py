@@ -26,7 +26,7 @@ from repro.circulant.ops import (
     block_dims,
 )
 from repro.circulant.spectral_cache import SpectralWeightCache
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.fftcore.backend import get_backend
 from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.initializers import zeros
@@ -46,7 +46,8 @@ class BlockCirculantConv2D(Module):
 
     def __init__(self, in_channels: int, out_channels: int, field: int,
                  block_size: int, stride: int = 1, padding: int = 0,
-                 bias: bool = True, seed=None, backend=None):
+                 bias: bool = True, seed=None, backend=None,
+                 init: str = "he"):
         super().__init__()
         ensure_positive(block_size, "block_size")
         # Fail at construction, not first forward: raises BackendError with
@@ -60,16 +61,22 @@ class BlockCirculantConv2D(Module):
         self.block_size = block_size
         self.backend = backend
         self.pp, self.qc = block_dims(out_channels, in_channels, block_size)
-        rng = make_rng(seed)
-        fan_in = in_channels * field * field
-        scale = np.sqrt(2.0 / fan_in)
-        self.weight = self.add_parameter(
-            "weight",
-            rng.normal(
-                0.0, scale,
-                size=(field * field, self.pp, self.qc, block_size),
-            ),
-        )
+        shape = (field * field, self.pp, self.qc, block_size)
+        if init == "he":
+            rng = make_rng(seed)
+            fan_in = in_channels * field * field
+            scale = np.sqrt(2.0 / fan_in)
+            weight = rng.normal(0.0, scale, size=shape)
+        elif init == "zeros":
+            # Placeholder for values assigned right after construction
+            # (deserialisation, the artifact store): skips the random
+            # draw, which dominates rebuild time for serving-sized layers.
+            weight = zeros(shape)
+        else:
+            raise ConfigurationError(
+                f"init must be 'he' or 'zeros', got {init!r}"
+            )
+        self.weight = self.add_parameter("weight", weight)
         self.bias = (
             self.add_parameter("bias", zeros((out_channels,))) if bias else None
         )

@@ -25,7 +25,7 @@ from repro.circulant.ops import (
     unpartition_vector,
 )
 from repro.circulant.spectral_cache import SpectralWeightCache
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.fftcore.backend import get_backend
 from repro.nn.initializers import zeros
 from repro.nn.module import Module
@@ -37,7 +37,8 @@ class BlockCirculantDense(Module):
     """FC layer whose weight matrix is block-circulant with block size k."""
 
     def __init__(self, in_features: int, out_features: int, block_size: int,
-                 bias: bool = True, seed=None, backend=None):
+                 bias: bool = True, seed=None, backend=None,
+                 init: str = "he"):
         super().__init__()
         ensure_positive(block_size, "block_size")
         # Fail at construction, not first forward: raises BackendError with
@@ -48,14 +49,23 @@ class BlockCirculantDense(Module):
         self.block_size = block_size
         self.backend = backend
         self.p, self.q = block_dims(out_features, in_features, block_size)
-        rng = make_rng(seed)
-        # He-style scaling: each expanded dense entry equals one stored
-        # parameter, so std sqrt(2 / fan_in) matches the dense baseline.
-        scale = np.sqrt(2.0 / in_features)
-        self.weight = self.add_parameter(
-            "weight",
-            rng.normal(0.0, scale, size=(self.p, self.q, block_size)),
-        )
+        shape = (self.p, self.q, block_size)
+        if init == "he":
+            rng = make_rng(seed)
+            # He-style scaling: each expanded dense entry equals one stored
+            # parameter, so std sqrt(2 / fan_in) matches the dense baseline.
+            scale = np.sqrt(2.0 / in_features)
+            weight = rng.normal(0.0, scale, size=shape)
+        elif init == "zeros":
+            # Placeholder for values assigned right after construction
+            # (deserialisation, the artifact store): skips the random
+            # draw, which dominates rebuild time for serving-sized layers.
+            weight = zeros(shape)
+        else:
+            raise ConfigurationError(
+                f"init must be 'he' or 'zeros', got {init!r}"
+            )
+        self.weight = self.add_parameter("weight", weight)
         self.bias = (
             self.add_parameter("bias", zeros((out_features,))) if bias else None
         )

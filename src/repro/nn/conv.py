@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.nn.im2col import col2im, conv_output_size, im2col
 from repro.nn.initializers import he_normal, zeros
 from repro.nn.module import Module
@@ -30,18 +30,26 @@ class Conv2D(Module):
 
     def __init__(self, in_channels: int, out_channels: int, field: int,
                  stride: int = 1, padding: int = 0, bias: bool = True,
-                 seed=None):
+                 seed=None, init: str = "he"):
         super().__init__()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.field = field
         self.stride = stride
         self.padding = padding
-        fan_in = in_channels * field * field
-        self.weight = self.add_parameter(
-            "weight",
-            he_normal((out_channels, in_channels, field, field), fan_in, seed),
-        )
+        shape = (out_channels, in_channels, field, field)
+        if init == "he":
+            fan_in = in_channels * field * field
+            weight = he_normal(shape, fan_in, seed)
+        elif init == "zeros":
+            # Placeholder for values assigned right after construction
+            # (deserialisation, the artifact store): skips the random draw.
+            weight = zeros(shape)
+        else:
+            raise ConfigurationError(
+                f"init must be 'he' or 'zeros', got {init!r}"
+            )
+        self.weight = self.add_parameter("weight", weight)
         self.bias = (
             self.add_parameter("bias", zeros((out_channels,))) if bias else None
         )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import ConfigurationError, ShapeError
 from repro.nn.initializers import he_normal, zeros
 from repro.nn.module import Module
 
@@ -17,13 +17,22 @@ class Dense(Module):
     """
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 seed=None):
+                 seed=None, init: str = "he"):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = self.add_parameter(
-            "weight", he_normal((out_features, in_features), in_features, seed)
-        )
+        shape = (out_features, in_features)
+        if init == "he":
+            weight = he_normal(shape, in_features, seed)
+        elif init == "zeros":
+            # Placeholder for values assigned right after construction
+            # (deserialisation, the artifact store): skips the random draw.
+            weight = zeros(shape)
+        else:
+            raise ConfigurationError(
+                f"init must be 'he' or 'zeros', got {init!r}"
+            )
+        self.weight = self.add_parameter("weight", weight)
         self.bias = self.add_parameter("bias", zeros((out_features,))) if bias else None
         self._input: np.ndarray | None = None
 

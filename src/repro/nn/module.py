@@ -31,7 +31,11 @@ class Parameter:
     def __init__(self, value: np.ndarray):
         self._version = 0
         self.value = np.asarray(value, dtype=np.float64)
-        self.grad = np.zeros_like(self.value)
+        # np.zeros, not np.zeros_like: the calloc-backed allocation defers
+        # page zeroing until the first backward touches the buffer, which
+        # keeps construction O(1) in parameter bytes — the artifact store's
+        # cold-start path builds serving-sized layers it will never train.
+        self.grad = np.zeros(self._value.shape, dtype=np.float64)
 
     @property
     def value(self) -> np.ndarray:
@@ -57,6 +61,33 @@ class Parameter:
     def frozen(self) -> bool:
         """True when the underlying array is read-only (see :meth:`freeze`)."""
         return not self._value.flags.writeable
+
+    def adopt_frozen(self, value: np.ndarray) -> None:
+        """Adopt ``value`` read-only, without copying, and bump the version.
+
+        The serving-load counterpart of the ``value`` setter: the setter
+        deliberately *copies* read-only sources so a trained parameter
+        never becomes permanently unwritable, but a network loaded from
+        the model-artifact store (:mod:`repro.store`) wants the opposite —
+        its arrays may be memory-mapped straight from disk, must never be
+        written, and copying them would defeat the instant cold start.
+        ``adopt_frozen`` takes a read-only view of ``value`` (dtype must
+        already be float64 — mapping rules out a converting copy) and
+        leaves the parameter frozen, exactly as after
+        ``compile_inference()``; assigning ``value`` later thaws it into
+        a writable copy as usual.
+        """
+        arr = np.asarray(value)
+        if arr.dtype != np.float64:
+            raise TypeError(
+                f"adopt_frozen requires a float64 array, got {arr.dtype} "
+                "(a converting copy would defeat zero-copy adoption; "
+                "assign .value instead)"
+            )
+        arr = arr.view()
+        arr.setflags(write=False)
+        self._value = arr
+        self._version += 1
 
     def freeze(self) -> None:
         """Mark the array read-only so in-place writes raise immediately.

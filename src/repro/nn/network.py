@@ -75,6 +75,36 @@ class Sequential(Module):
             for name, param in layer.named_parameters():
                 yield f"layers.{index}.{name}", param
 
+    def named_layers(self, prefix: str = "layers"):
+        """Yield ``(path, layer)`` pairs, recursing into nested Sequentials.
+
+        Paths are prefixes of the :meth:`named_parameters` names — a layer
+        at ``layers.3`` owns the parameter ``layers.3.weight`` — which is
+        what lets the model-artifact store (:mod:`repro.store`) tie each
+        persisted spectrum back to the parameter it was computed from.
+        """
+        for index, layer in enumerate(self.layers):
+            path = f"{prefix}.{index}"
+            yield path, layer
+            if isinstance(layer, Sequential):
+                yield from layer.named_layers(f"{path}.layers")
+
+    def spectral_layers(self, prefix: str = "layers"):
+        """``(path, layer)`` for every layer that consumes a weight spectrum.
+
+        A spectral layer is one whose forward runs through the
+        ``cached_spectrum=`` fast path — it owns a ``weight`` parameter
+        *and* exposes a ``spectral_cache`` slot (the block-circulant FC
+        and CONV layers). Nested ``Sequential`` containers are traversed,
+        not yielded. This is the capture surface for
+        :func:`repro.nn.serialization.capture_compiled_state`.
+        """
+        for path, layer in self.named_layers(prefix):
+            if isinstance(layer, Sequential):
+                continue
+            if hasattr(layer, "spectral_cache") and hasattr(layer, "weight"):
+                yield path, layer
+
     def train(self, flag: bool = True) -> "Sequential":
         super().train(flag)
         for layer in self.layers:

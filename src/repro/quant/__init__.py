@@ -23,6 +23,7 @@ from repro.quant.network import (
     ActivationQuantizer,
     accuracy_vs_bits,
     network_accuracy,
+    quantization_format,
     quantize_network_weights,
     quantized_view,
     requantize_endpoint,
@@ -40,5 +41,6 @@ __all__ = [
     "quantized_view",
     "network_accuracy",
     "accuracy_vs_bits",
+    "quantization_format",
     "requantize_endpoint",
 ]

@@ -49,6 +49,9 @@ def quantize_network_weights(network: Sequential | Module,
     """
     for param in network.parameters():
         param.value = quantize_tensor(param.value, total_bits)
+    # Record the format so serving metadata (registry dashboards, the
+    # artifact store's manifest) can report what precision is being served.
+    network.weight_quant_bits = total_bits
 
 
 class ActivationQuantizer(Module):
@@ -129,7 +132,30 @@ def quantized_view(network: Sequential, weight_bits: int,
     for layer in clone.layers:
         pipeline.add(layer)
         pipeline.add(ActivationQuantizer(activation_bits))
+    pipeline.weight_quant_bits = weight_bits
     return pipeline
+
+
+def quantization_format(network) -> dict | None:
+    """The fixed-point format a network pipeline serves, or ``None``.
+
+    Inspects the markers the quantisation entry points leave behind:
+    ``weight_quant_bits`` (set by :func:`quantize_network_weights` /
+    :func:`quantized_view`) and the word length of the first
+    :class:`ActivationQuantizer` in the pipeline. A float network — never
+    quantised, no quantiser layers — returns ``None``. The artifact store
+    records this in its manifest so a loaded endpoint knows what
+    precision it is serving.
+    """
+    weight_bits = getattr(network, "weight_quant_bits", None)
+    activation_bits = None
+    for layer in getattr(network, "layers", ()):
+        if isinstance(layer, ActivationQuantizer):
+            activation_bits = layer.total_bits
+            break
+    if weight_bits is None and activation_bits is None:
+        return None
+    return {"weight_bits": weight_bits, "activation_bits": activation_bits}
 
 
 def network_accuracy(network: Sequential, x: np.ndarray,

@@ -97,6 +97,39 @@ class ModelRegistry:
             self._endpoints[name] = (net, generation)
         return old[0] if old is not None else None
 
+    def load_endpoint(self, name: str, path, *, mmap: bool = True):
+        """Register a new endpoint straight from a stored artifact.
+
+        Loads the artifact at ``path`` via
+        :func:`repro.store.load_artifact` — a serving-ready network whose
+        weight spectra are seeded from disk, no FFT recomputed — and
+        registers it under ``name`` (``compile=False``: the loaded
+        network is already frozen and warm). Raises if ``name`` exists;
+        use :meth:`swap_from_store` for a live endpoint. Returns the
+        loaded network.
+        """
+        from repro.store import load_artifact
+
+        net = load_artifact(path, mmap=mmap)
+        return self.register(name, net, compile=False)
+
+    def swap_from_store(self, name: str, path, *, mmap: bool = True):
+        """Atomically hot-swap (or create) an endpoint from a stored artifact.
+
+        The disk-to-serving weight push: load the artifact at ``path``
+        (spectra seeded, zero FFTs), then :meth:`swap` it in — in-flight
+        batches finish on their snapshot, the generation counter bumps,
+        and the previous network is returned for rollback. Rolling back
+        is the same call with the prior artifact's path, so a store
+        directory of content-hash-versioned artifacts doubles as the
+        rollback history (see ``docs/model_store.md``).
+        """
+        from repro.store import load_artifact
+
+        net = load_artifact(path, mmap=mmap)
+        old = self.swap(name, net, compile=False)
+        return old
+
     def snapshot(self, name: str):
         """``(network, generation)`` — the atomic unit a batch runs on."""
         with self._lock:

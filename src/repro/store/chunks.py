@@ -1,0 +1,191 @@
+"""Chunked, compressed, memory-mappable array storage.
+
+One stored array is **one file** holding the concatenation of its encoded
+chunks, plus a metadata record (kept in the artifact manifest, not in the
+file) describing dtype, shape, codec and the per-chunk byte extents:
+
+```
+<name>.bin:  [chunk 0 bytes][chunk 1 bytes]...[chunk n-1 bytes]
+meta:        {"file", "dtype", "shape", "codec",
+              "chunks": [{"offset", "length", "rows", "nbytes", "crc32"}]}
+```
+
+Chunks split the array along its leading axis (zarr-style) so writes
+stream, each chunk compresses and checksums independently, and a corrupt
+byte is localised to one chunk. Keeping the chunks contiguous in a single
+file buys the cold-start property the serving store needs: with the
+``identity`` codec the file *is* the array's C-order bytes, so loading is
+a single ``np.memmap`` — no read, no decode, no copy, regardless of how
+many chunks the writer used. Compressed codecs trade that instant start
+for a smaller artifact and are decoded chunk-by-chunk into one buffer.
+
+Every chunk records a CRC-32 of its **stored** bytes, so corruption is
+detected before any decode runs; a short file raises
+:class:`~repro.errors.StoreIntegrityError` naming the truncated chunk.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.store.codecs import get_codec
+
+#: Default split size along the leading axis, pre-compression.
+DEFAULT_CHUNK_BYTES = 4 << 20
+
+
+def _leading_split(array: np.ndarray) -> tuple[int, int]:
+    """``(rows, row_nbytes)`` for leading-axis chunking (0-d = one row)."""
+    if array.ndim == 0:
+        return 1, array.nbytes
+    rows = array.shape[0]
+    return rows, array.nbytes // rows if rows else 0
+
+
+def write_chunked_array(
+    array: np.ndarray, directory: str | os.PathLike, name: str, *,
+    codec: str = "zlib", chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> dict:
+    """Write ``array`` as ``<name>.bin`` under ``directory``; return its meta.
+
+    The array is stored in C order; non-contiguous inputs (e.g. the
+    natural transposed views of frequency-major spectra) must be passed
+    as the contiguous buffer the caller wants on disk. The returned meta
+    dict is exactly what :func:`read_chunked_array` consumes and what the
+    manifest embeds per array.
+    """
+    if chunk_bytes < 1:
+        raise StoreError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    cod = get_codec(codec)
+    array = np.asarray(array)
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)
+    rows, row_nbytes = _leading_split(array)
+    rows_per_chunk = max(1, chunk_bytes // row_nbytes) if row_nbytes else rows
+    flat = array.reshape(rows, -1) if array.size else None
+    filename = f"{name}.bin"
+    chunks: list[dict] = []
+    offset = 0
+    with open(Path(directory) / filename, "wb") as fh:
+        for start in range(0, rows if flat is not None else 0,
+                           rows_per_chunk):
+            stop = min(start + rows_per_chunk, rows)
+            raw = flat[start:stop].tobytes()
+            stored = cod.encode(raw)
+            fh.write(stored)
+            chunks.append({
+                "offset": offset,
+                "length": len(stored),
+                "rows": stop - start,
+                "nbytes": len(raw),
+                "crc32": zlib.crc32(stored),
+            })
+            offset += len(stored)
+    return {
+        "file": filename,
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "codec": cod.name,
+        "nbytes": array.nbytes,
+        "stored_nbytes": offset,
+        "chunks": chunks,
+    }
+
+
+def _read_stored_chunk(fh, chunk: dict, *, file: str, index: int) -> bytes:
+    """One chunk's stored bytes, CRC-verified; integrity errors name it."""
+    fh.seek(chunk["offset"])
+    stored = fh.read(chunk["length"])
+    if len(stored) != chunk["length"]:
+        raise StoreIntegrityError(
+            f"{file}: chunk {index} truncated — expected "
+            f"{chunk['length']} stored bytes, found {len(stored)}"
+        )
+    if zlib.crc32(stored) != chunk["crc32"]:
+        raise StoreIntegrityError(
+            f"{file}: chunk {index} failed its CRC-32 check "
+            "(corrupted or partially overwritten artifact)"
+        )
+    return stored
+
+
+def read_chunked_array(
+    directory: str | os.PathLike, meta: dict, *,
+    mmap: bool = False, verify: bool | None = None,
+) -> np.ndarray:
+    """Load an array written by :func:`write_chunked_array` (read-only).
+
+    ``mmap=True`` with the ``identity`` codec maps the file instead of
+    reading it — the instant-cold-start path: pages fault in lazily as
+    the first forward touches them. Mapping skips checksum verification
+    by default (touching every page would defeat the laziness); pass
+    ``verify=True`` to force a full check, or leave ``verify=None`` for
+    the default (checked on reads, unchecked on maps). ``mmap=True`` on a
+    compressed codec silently falls back to read-and-decode — the caller
+    asked for the fastest available load, not for a mapping guarantee.
+    """
+    cod = get_codec(meta["codec"])
+    dtype = np.dtype(meta["dtype"])
+    shape = tuple(meta["shape"])
+    path = Path(directory) / meta["file"]
+    if not path.is_file():
+        raise StoreError(f"missing chunk file {meta['file']!r} in {directory}")
+    if np.prod(shape, dtype=np.int64) == 0:
+        # Nothing was stored for an empty array; nothing to map or read.
+        out = np.empty(shape, dtype=dtype)
+        out.setflags(write=False)
+        return out
+    use_mmap = mmap and cod.name == "identity"
+    if verify is None:
+        verify = not use_mmap
+    if verify:
+        with open(path, "rb") as fh:
+            for index, chunk in enumerate(meta["chunks"]):
+                _read_stored_chunk(fh, chunk, file=meta["file"], index=index)
+    if use_mmap:
+        if path.stat().st_size != meta["nbytes"]:
+            raise StoreIntegrityError(
+                f"{meta['file']}: file is {path.stat().st_size} bytes, "
+                f"expected {meta['nbytes']} for a mapped identity array"
+            )
+        out = np.memmap(path, dtype=dtype, mode="r", shape=shape)
+        return out
+    out = np.empty(shape, dtype=dtype)
+    rows, _ = _leading_split(out)
+    flat = out.reshape(rows, -1) if out.size else None
+    row = 0
+    with open(path, "rb") as fh:
+        for index, chunk in enumerate(meta["chunks"]):
+            stored = _read_stored_chunk(fh, chunk, file=meta["file"],
+                                        index=index)
+            raw = cod.decode(stored)
+            if len(raw) != chunk["nbytes"]:
+                raise StoreIntegrityError(
+                    f"{meta['file']}: chunk {index} decoded to {len(raw)} "
+                    f"bytes, expected {chunk['nbytes']}"
+                )
+            flat[row:row + chunk["rows"]] = np.frombuffer(
+                raw, dtype=dtype
+            ).reshape(chunk["rows"], -1)
+            row += chunk["rows"]
+    if row != rows:
+        raise StoreIntegrityError(
+            f"{meta['file']}: chunks cover {row} rows, array has {rows}"
+        )
+    out.setflags(write=False)
+    return out
+
+
+def verify_chunked_array(directory: str | os.PathLike, meta: dict) -> None:
+    """CRC-check every stored chunk without decoding (raises on failure)."""
+    path = Path(directory) / meta["file"]
+    if not path.is_file():
+        raise StoreError(f"missing chunk file {meta['file']!r} in {directory}")
+    with open(path, "rb") as fh:
+        for index, chunk in enumerate(meta["chunks"]):
+            _read_stored_chunk(fh, chunk, file=meta["file"], index=index)

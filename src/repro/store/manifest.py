@@ -1,0 +1,331 @@
+"""Artifact manifest: JSON schema, layer specs, content hashing.
+
+The manifest (``manifest.json``) is the one humanly-readable file in an
+artifact directory. It records everything needed to reconstruct a frozen,
+serving-ready network without touching the original Python that built it:
+
+- ``format`` — the artifact format version (``"repro.store/1"``);
+- ``network`` — a recursive layer-spec tree (constructor configs, not
+  pickles: artifacts stay portable and diffable);
+- ``parameters`` — one chunked-array record per named parameter
+  (:mod:`repro.store.chunks` metadata, names matching
+  ``Sequential.named_parameters``);
+- ``spectra`` — one record per block-circulant layer: which parameter the
+  spectrum belongs to, which FFT backend derived it, its layout
+  (``"fc"``/``"conv"``) and its chunked-array record. The stored buffer
+  is the cache's **frequency-major** memory, so a load (or map) hands the
+  per-frequency GEMM the exact zero-copy layout a fresh
+  ``compile_inference()`` would have produced;
+- ``serving_signature`` / ``quantization`` — the batch-shape contract and
+  fixed-point format the endpoint serves;
+- ``content_hash`` — SHA-256 over the canonical manifest minus this
+  field. Every chunk's CRC-32, shape, dtype and codec is inside the
+  manifest, so the hash versions the artifact's full content without
+  re-reading the arrays; it is the version string
+  :class:`repro.store.registry.ArtifactStore` keys directories by.
+
+A missing, unparsable, or key-incomplete manifest raises
+:class:`~repro.errors.StoreError` — the truncated-manifest error path
+exercised in ``tests/test_store.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.errors import StoreError
+
+MANIFEST_FORMAT = "repro.store/1"
+MANIFEST_FILE = "manifest.json"
+
+_REQUIRED_KEYS = (
+    "format", "content_hash", "codec", "network", "parameters", "spectra",
+    "serving_signature", "quantization",
+)
+
+
+# ---------------------------------------------------------------------------
+# Layer specs
+# ---------------------------------------------------------------------------
+
+def _resolved_backend_name(layer) -> str | None:
+    """The registered backend name a block-circulant layer transforms on.
+
+    Custom backend *instances* (e.g. a ``CountingFFTBackend``) are not
+    portable — a manifest naming one could never be loaded in a fresh
+    process — so they are rejected at save time; load-time overrides go
+    through ``load_artifact(backend=...)`` instead.
+    """
+    from repro.fftcore.backend import available_backends, get_backend
+
+    if layer.backend is None:
+        return None
+    name = get_backend(layer.backend).name
+    if name not in available_backends():
+        raise StoreError(
+            f"layer {layer!r} uses unregistered FFT backend {name!r}; "
+            "artifacts can only reference registered backend names"
+        )
+    return name
+
+
+def _describe_bc_dense(layer) -> dict:
+    return {
+        "in_features": layer.in_features,
+        "out_features": layer.out_features,
+        "block_size": layer.block_size,
+        "bias": layer.bias is not None,
+        "backend": _resolved_backend_name(layer),
+    }
+
+
+def _build_bc_dense(config: dict, backend):
+    from repro.nn.block_circulant_dense import BlockCirculantDense
+
+    return BlockCirculantDense(
+        config["in_features"], config["out_features"], config["block_size"],
+        bias=config["bias"],
+        backend=backend if backend is not None else config["backend"],
+        init="zeros",
+    )
+
+
+def _describe_bc_conv(layer) -> dict:
+    return {
+        "in_channels": layer.in_channels,
+        "out_channels": layer.out_channels,
+        "field": layer.field,
+        "block_size": layer.block_size,
+        "stride": layer.stride,
+        "padding": layer.padding,
+        "bias": layer.bias is not None,
+        "backend": _resolved_backend_name(layer),
+    }
+
+
+def _build_bc_conv(config: dict, backend):
+    from repro.nn.block_circulant_conv import BlockCirculantConv2D
+
+    return BlockCirculantConv2D(
+        config["in_channels"], config["out_channels"], config["field"],
+        config["block_size"], stride=config["stride"],
+        padding=config["padding"], bias=config["bias"],
+        backend=backend if backend is not None else config["backend"],
+        init="zeros",
+    )
+
+
+def _describe_dense(layer) -> dict:
+    return {
+        "in_features": layer.in_features,
+        "out_features": layer.out_features,
+        "bias": layer.bias is not None,
+    }
+
+
+def _build_dense(config: dict, backend):
+    from repro.nn.dense import Dense
+
+    return Dense(config["in_features"], config["out_features"],
+                 bias=config["bias"], init="zeros")
+
+
+def _describe_conv(layer) -> dict:
+    return {
+        "in_channels": layer.in_channels,
+        "out_channels": layer.out_channels,
+        "field": layer.field,
+        "stride": layer.stride,
+        "padding": layer.padding,
+        "bias": layer.bias is not None,
+    }
+
+
+def _build_conv(config: dict, backend):
+    from repro.nn.conv import Conv2D
+
+    return Conv2D(config["in_channels"], config["out_channels"],
+                  config["field"], stride=config["stride"],
+                  padding=config["padding"], bias=config["bias"],
+                  init="zeros")
+
+
+def _describe_pool(layer) -> dict:
+    return {"field": layer.field, "stride": layer.stride}
+
+
+def _describe_dropout(layer) -> dict:
+    # The RNG state is deliberately not captured: a stored artifact serves
+    # inference, where dropout is the identity.
+    return {"rate": layer.rate}
+
+
+def _describe_quantizer(layer) -> dict:
+    return {"total_bits": layer.total_bits}
+
+
+def _stateless(build):
+    """Adapt a no-config constructor into the (config, backend) signature."""
+    return lambda config, backend: build()
+
+
+def _spec_registry() -> dict:
+    from repro.nn import activations, dropout, pooling, reshape
+    from repro.nn.block_circulant_conv import BlockCirculantConv2D
+    from repro.nn.block_circulant_dense import BlockCirculantDense
+    from repro.nn.conv import Conv2D
+    from repro.nn.dense import Dense
+    from repro.quant.network import ActivationQuantizer
+
+    return {
+        BlockCirculantDense: ("BlockCirculantDense",
+                              _describe_bc_dense, _build_bc_dense),
+        BlockCirculantConv2D: ("BlockCirculantConv2D",
+                               _describe_bc_conv, _build_bc_conv),
+        Dense: ("Dense", _describe_dense, _build_dense),
+        Conv2D: ("Conv2D", _describe_conv, _build_conv),
+        activations.ReLU: ("ReLU", lambda _: {},
+                           _stateless(activations.ReLU)),
+        activations.Sigmoid: ("Sigmoid", lambda _: {},
+                              _stateless(activations.Sigmoid)),
+        activations.Tanh: ("Tanh", lambda _: {},
+                           _stateless(activations.Tanh)),
+        reshape.Flatten: ("Flatten", lambda _: {},
+                          _stateless(reshape.Flatten)),
+        pooling.MaxPool2D: ("MaxPool2D", _describe_pool,
+                            lambda c, b: pooling.MaxPool2D(
+                                c["field"], c["stride"])),
+        pooling.AvgPool2D: ("AvgPool2D", _describe_pool,
+                            lambda c, b: pooling.AvgPool2D(
+                                c["field"], c["stride"])),
+        dropout.Dropout: ("Dropout", _describe_dropout,
+                          lambda c, b: dropout.Dropout(c["rate"])),
+        ActivationQuantizer: ("ActivationQuantizer", _describe_quantizer,
+                              lambda c, b: ActivationQuantizer(
+                                  c["total_bits"])),
+    }
+
+
+def layer_to_spec(layer) -> dict:
+    """Recursive ``{"type": ..., "config": ...}`` spec of a layer tree.
+
+    Raises :class:`~repro.errors.StoreError` for layer types the store
+    does not know how to rebuild — persisting a network with a custom
+    layer needs a spec codec for it, not a silently lossy artifact.
+    """
+    from repro.nn.network import Sequential
+
+    if isinstance(layer, Sequential):
+        return {
+            "type": "Sequential",
+            "config": {"layers": [layer_to_spec(child)
+                                  for child in layer.layers]},
+        }
+    entry = _spec_registry().get(type(layer))
+    if entry is None:
+        raise StoreError(
+            f"cannot persist layer of type {type(layer).__name__}: no "
+            "spec codec is registered for it in repro.store.manifest"
+        )
+    name, describe, _ = entry
+    return {"type": name, "config": describe(layer)}
+
+
+def layer_from_spec(spec: dict, backend=None):
+    """Rebuild a layer tree from :func:`layer_to_spec` output.
+
+    Parameterised layers are constructed with ``init="zeros"`` — their
+    values are assigned from the stored arrays immediately afterwards, so
+    skipping the random draw shaves the dominant Python cost off a cold
+    rebuild. ``backend`` (a name or :class:`~repro.fftcore.backend.FFTBackend`
+    instance) overrides the stored FFT backend of every block-circulant
+    layer — the hook tests use to count transform calls on a loaded
+    network.
+    """
+    from repro.nn.network import Sequential
+
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise StoreError(f"malformed layer spec: {spec!r}")
+    if spec["type"] == "Sequential":
+        return Sequential(*[layer_from_spec(child, backend)
+                            for child in spec["config"]["layers"]])
+    builders = {name: build for name, _, build in _spec_registry().values()}
+    build = builders.get(spec["type"])
+    if build is None:
+        raise StoreError(
+            f"manifest names unknown layer type {spec['type']!r}; "
+            "was this artifact written by a newer format?"
+        )
+    return build(spec.get("config", {}), backend)
+
+
+# ---------------------------------------------------------------------------
+# Manifest IO and content hashing
+# ---------------------------------------------------------------------------
+
+def content_hash(manifest: dict) -> str:
+    """``"sha256:..."`` over the canonical manifest minus ``content_hash``.
+
+    Each array record embeds its chunks' CRC-32s, byte extents, dtype and
+    shape, so this hash changes whenever any stored byte, any layer
+    config, or any serving metadata changes — a content version string
+    computed without re-reading the arrays.
+    """
+    body = {key: value for key, value in manifest.items()
+            if key != "content_hash"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_manifest(directory: str | os.PathLike, manifest: dict) -> None:
+    """Stamp the content hash and write ``manifest.json`` under ``directory``.
+
+    Written last by ``save_artifact``, so a crashed save leaves a
+    directory *without* a manifest — unloadable by construction — rather
+    than a manifest pointing at half-written chunks.
+    """
+    manifest = dict(manifest)
+    manifest["content_hash"] = content_hash(manifest)
+    path = Path(directory) / MANIFEST_FILE
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+
+
+def read_manifest(directory: str | os.PathLike) -> dict:
+    """Load and validate ``manifest.json`` (schema keys + format version).
+
+    Raises :class:`~repro.errors.StoreError` when the file is missing,
+    not JSON (truncated writes included), missing required keys, or
+    written by an unknown format version.
+    """
+    path = Path(directory) / MANIFEST_FILE
+    if not path.is_file():
+        raise StoreError(
+            f"no {MANIFEST_FILE} in {directory} — not an artifact directory "
+            "(or an interrupted save; re-publish the artifact)"
+        )
+    try:
+        with open(path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StoreError(
+            f"{path} is not valid JSON (truncated or corrupted manifest): "
+            f"{exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise StoreError(f"{path} does not hold a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise StoreError(
+            f"{path} is missing required keys {missing} "
+            "(truncated manifest?)"
+        )
+    if manifest["format"] != MANIFEST_FORMAT:
+        raise StoreError(
+            f"artifact format {manifest['format']!r} is not supported "
+            f"(this build reads {MANIFEST_FORMAT!r})"
+        )
+    return manifest

@@ -1,0 +1,131 @@
+"""Content-hash-versioned artifact directories — the publish side.
+
+:class:`ArtifactStore` manages a directory tree of artifacts laid out as
+``root/<model>/<version>/``, where ``<version>`` is the first 12 hex
+digits of the artifact's manifest content hash. Publishing the same
+compiled state twice lands on the same directory (a no-op), any change to
+weights, spectra, codec or layer config lands on a new one, and old
+versions stay on disk untouched — so the store doubles as the rollback
+history: rolling an endpoint back is
+``registry.swap_from_store(name, store.path(model, old_version))``.
+
+Saves go to a temporary directory first and are renamed into place once
+the manifest (written last) exists, so a crashed publish never produces a
+version directory that :func:`repro.store.load_artifact` would accept.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.artifact import save_artifact
+from repro.store.chunks import DEFAULT_CHUNK_BYTES
+from repro.store.manifest import MANIFEST_FILE
+
+#: Hex digits of the content hash used as the version directory name.
+VERSION_DIGITS = 12
+
+_publish_counter = itertools.count()
+
+
+class ArtifactStore:
+    """A directory of content-hash-versioned model artifacts."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def publish(
+        self, name: str, network, *,
+        codec: str = "zlib", chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> Path:
+        """Save ``network`` under ``name``; returns its version directory.
+
+        Idempotent: republishing identical compiled state resolves to the
+        existing version directory and writes nothing new.
+        """
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        staging = model_dir / f".publish-{os.getpid()}-{next(_publish_counter)}"
+        manifest = save_artifact(
+            network, staging, codec=codec, chunk_bytes=chunk_bytes
+        )
+        version = manifest["content_hash"].split(":", 1)[1][:VERSION_DIGITS]
+        final = model_dir / version
+        if final.exists():
+            shutil.rmtree(staging)
+            return final
+        try:
+            staging.rename(final)
+        except OSError:
+            # A concurrent publish of the same content won the rename;
+            # identical bytes are already in place.
+            if not final.exists():
+                raise
+            shutil.rmtree(staging)
+        return final
+
+    def models(self) -> list[str]:
+        """Sorted model names with at least one published version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir()
+            if entry.is_dir() and self._versions_of(entry)
+        )
+
+    def _versions_of(self, model_dir: Path) -> list[Path]:
+        return [
+            entry for entry in model_dir.iterdir()
+            if entry.is_dir()
+            and not entry.name.startswith(".")
+            and (entry / MANIFEST_FILE).is_file()
+        ]
+
+    def versions(self, name: str) -> list[str]:
+        """Version strings for ``name``, oldest publish first.
+
+        Ordered by directory modification time (tie-broken by name) —
+        content hashes carry no ordering of their own.
+        """
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            raise StoreError(f"no model {name!r} in store {self.root}")
+        entries = self._versions_of(model_dir)
+        if not entries:
+            raise StoreError(f"no published versions of {name!r} in {self.root}")
+        entries.sort(key=lambda entry: (entry.stat().st_mtime, entry.name))
+        return [entry.name for entry in entries]
+
+    def path(self, name: str, version: str) -> Path:
+        """The artifact directory for ``name`` at ``version``."""
+        candidate = self.root / name / version
+        if not (candidate / MANIFEST_FILE).is_file():
+            raise StoreError(
+                f"no artifact for model {name!r} at version {version!r} "
+                f"in {self.root}"
+            )
+        return candidate
+
+    def latest(self, name: str) -> Path:
+        """The most recently published version directory of ``name``."""
+        return self.path(name, self.versions(name)[-1])
+
+    def load(self, name: str, version: str | None = None, *,
+             mmap: bool = True, verify: bool | None = None, backend=None):
+        """Load ``name`` (latest version unless one is named) to a network."""
+        from repro.store.artifact import load_artifact
+
+        directory = (
+            self.latest(name) if version is None else self.path(name, version)
+        )
+        return load_artifact(
+            directory, mmap=mmap, verify=verify, backend=backend
+        )
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={str(self.root)!r})"

@@ -1,0 +1,616 @@
+"""Tests for the model-artifact store (repro.store) and its plumbing:
+codec round trips, chunked-array integrity (the zarr-style
+compress → decompress → assert-equal suite), manifest error paths,
+save/load bit-identity with zero FFTs recomputed on load, cache seeding,
+content-hash versioning, and registry hot swap from disk."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circulant import SpectralWeightCache
+from repro.errors import ShapeError, StoreError, StoreIntegrityError
+from repro.fftcore import CountingFFTBackend
+from repro.nn import (
+    AvgPool2D,
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Module,
+    ReLU,
+    Sequential,
+    load_parameters,
+    save_parameters,
+)
+from repro.quant import quantized_view
+from repro.serving import ModelRegistry
+from repro.store import (
+    ArtifactStore,
+    Codec,
+    ZlibCodec,
+    available_codecs,
+    get_codec,
+    layer_from_spec,
+    layer_to_spec,
+    load_artifact,
+    read_chunked_array,
+    read_manifest,
+    register_codec,
+    save_artifact,
+    verify_artifact,
+    verify_chunked_array,
+    write_chunked_array,
+)
+
+
+def _fc_net(seed: int = 0) -> Sequential:
+    return Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1),
+    )
+
+
+def _conv_net(seed: int = 0) -> Sequential:
+    return Sequential(
+        BlockCirculantConv2D(4, 8, 3, block_size=4, padding=1, seed=seed),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        BlockCirculantDense(8 * 3 * 3, 10, 2, seed=seed + 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Codecs
+# ---------------------------------------------------------------------------
+
+class TestCodecs:
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_registered_codecs_round_trip_bytes(self, name, rng):
+        codec = get_codec(name)
+        for payload in (b"", b"\x00" * 1024, rng.bytes(10_000),
+                        np.arange(257, dtype=np.float64).tobytes()):
+            assert codec.decode(codec.encode(payload)) == payload
+
+    @pytest.mark.parametrize("name", available_codecs())
+    def test_registered_codecs_round_trip_arrays(self, name, rng):
+        # The zarr/deeplake idiom: compress, decompress, assert_array_equal.
+        codec = get_codec(name)
+        array = rng.normal(size=(37, 11))
+        raw = codec.decode(codec.encode(array.tobytes()))
+        restored = np.frombuffer(raw, dtype=array.dtype).reshape(array.shape)
+        np.testing.assert_array_equal(restored, array)
+
+    def test_zlib_compresses_repetitive_data(self):
+        data = np.zeros(4096, dtype=np.float64).tobytes()
+        assert len(ZlibCodec().encode(data)) < len(data) // 10
+
+    def test_zlib_rejects_bad_level(self):
+        with pytest.raises(StoreError):
+            ZlibCodec(level=17)
+
+    def test_zlib_decode_of_garbage_raises_store_error(self):
+        with pytest.raises(StoreError):
+            ZlibCodec().decode(b"this is not deflate data")
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(StoreError, match="unknown codec"):
+            get_codec("blosc-lz4-hc")
+
+    def test_instances_pass_through(self):
+        codec = ZlibCodec(level=1)
+        assert get_codec(codec) is codec
+
+    def test_register_rejects_duplicates_unless_replace(self):
+        class Custom(Codec):
+            name = "test-custom-codec"
+
+            def encode(self, data: bytes) -> bytes:
+                return bytes(data)
+
+            def decode(self, data: bytes) -> bytes:
+                return bytes(data)
+
+        first = register_codec(Custom())
+        with pytest.raises(StoreError, match="already registered"):
+            register_codec(Custom())
+        second = register_codec(Custom(), replace=True)
+        assert get_codec("test-custom-codec") is second is not first
+
+
+# ---------------------------------------------------------------------------
+# Chunked arrays
+# ---------------------------------------------------------------------------
+
+class TestChunkedArrays:
+    @pytest.mark.parametrize("codec", ["identity", "zlib"])
+    @pytest.mark.parametrize("shape,dtype", [
+        ((64, 7), np.float64),
+        ((5, 3, 9), np.complex128),
+        ((128,), np.int32),
+        ((), np.float64),
+        ((3, 0, 4), np.float64),
+    ])
+    def test_round_trip(self, tmp_path, rng, codec, shape, dtype):
+        if np.issubdtype(dtype, np.complexfloating):
+            array = (rng.normal(size=shape) + 1j * rng.normal(size=shape)
+                     ).astype(dtype)
+        else:
+            array = rng.normal(0, 100, size=shape).astype(dtype)
+        meta = write_chunked_array(array, tmp_path, "arr", codec=codec)
+        out = read_chunked_array(tmp_path, meta)
+        np.testing.assert_array_equal(out, array)
+        assert out.dtype == array.dtype
+        assert not out.flags.writeable
+
+    def test_multi_chunk_split_and_round_trip(self, tmp_path, rng):
+        array = rng.normal(size=(100, 16))  # 12.8 KiB, 1 KiB chunks
+        meta = write_chunked_array(array, tmp_path, "arr", codec="zlib",
+                                   chunk_bytes=1024)
+        assert len(meta["chunks"]) == 13  # 8 rows per chunk, 100 rows
+        assert sum(c["rows"] for c in meta["chunks"]) == 100
+        np.testing.assert_array_equal(read_chunked_array(tmp_path, meta),
+                                      array)
+
+    def test_non_contiguous_input(self, tmp_path, rng):
+        array = rng.normal(size=(12, 8)).T
+        assert not array.flags.c_contiguous
+        meta = write_chunked_array(array, tmp_path, "arr", codec="identity")
+        np.testing.assert_array_equal(read_chunked_array(tmp_path, meta),
+                                      array)
+
+    def test_identity_mmap_is_zero_copy(self, tmp_path, rng):
+        array = rng.normal(size=(40, 9))
+        meta = write_chunked_array(array, tmp_path, "arr", codec="identity",
+                                   chunk_bytes=512)
+        out = read_chunked_array(tmp_path, meta, mmap=True)
+        assert isinstance(out, np.memmap)
+        assert not out.flags.writeable
+        np.testing.assert_array_equal(out, array)
+
+    def test_mmap_on_compressed_codec_falls_back_to_read(self, tmp_path, rng):
+        array = rng.normal(size=(40, 9))
+        meta = write_chunked_array(array, tmp_path, "arr", codec="zlib")
+        out = read_chunked_array(tmp_path, meta, mmap=True)
+        assert not isinstance(out, np.memmap)
+        np.testing.assert_array_equal(out, array)
+
+    @pytest.mark.parametrize("codec", ["identity", "zlib"])
+    def test_corrupted_chunk_raises_integrity_error(self, tmp_path, rng,
+                                                    codec):
+        array = rng.normal(size=(64, 8))
+        meta = write_chunked_array(array, tmp_path, "arr", codec=codec,
+                                   chunk_bytes=1024)
+        path = tmp_path / meta["file"]
+        blob = bytearray(path.read_bytes())
+        target = meta["chunks"][1]
+        blob[target["offset"] + 3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StoreIntegrityError, match="chunk 1"):
+            read_chunked_array(tmp_path, meta)
+        with pytest.raises(StoreIntegrityError, match="chunk 1"):
+            verify_chunked_array(tmp_path, meta)
+
+    def test_truncated_file_raises_integrity_error(self, tmp_path, rng):
+        array = rng.normal(size=(64, 8))
+        meta = write_chunked_array(array, tmp_path, "arr", codec="zlib",
+                                   chunk_bytes=1024)
+        path = tmp_path / meta["file"]
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(StoreIntegrityError, match="truncated"):
+            read_chunked_array(tmp_path, meta)
+
+    def test_mmap_skips_verification_unless_forced(self, tmp_path, rng):
+        array = rng.normal(size=(64, 8))
+        meta = write_chunked_array(array, tmp_path, "arr", codec="identity",
+                                   chunk_bytes=1024)
+        path = tmp_path / meta["file"]
+        blob = bytearray(path.read_bytes())
+        blob[10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        # Default mapping defers integrity to the manifest's CRCs on demand.
+        read_chunked_array(tmp_path, meta, mmap=True)
+        with pytest.raises(StoreIntegrityError):
+            read_chunked_array(tmp_path, meta, mmap=True, verify=True)
+
+    def test_missing_file_raises_store_error(self, tmp_path, rng):
+        meta = write_chunked_array(rng.normal(size=(4, 4)), tmp_path, "arr")
+        (tmp_path / meta["file"]).unlink()
+        with pytest.raises(StoreError, match="missing chunk file"):
+            read_chunked_array(tmp_path, meta)
+
+    def test_bad_chunk_bytes_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            write_chunked_array(np.zeros(4), tmp_path, "arr", chunk_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Manifest + layer specs
+# ---------------------------------------------------------------------------
+
+class TestLayerSpecs:
+    def test_full_layer_zoo_round_trips(self):
+        net = Sequential(
+            Conv2D(2, 3, 3, stride=1, padding=1, seed=0),
+            MaxPool2D(2),
+            AvgPool2D(2, 1),
+            Dropout(0.25),
+            Flatten(),
+            Dense(27, 12, seed=0),
+            Sequential(BlockCirculantDense(12, 6, 2, seed=1, bias=False)),
+        )
+        rebuilt = layer_from_spec(layer_to_spec(net))
+        assert [type(a) for a in rebuilt.layers] == \
+            [type(a) for a in net.layers]
+        inner = rebuilt.layers[-1].layers[0]
+        assert (inner.in_features, inner.out_features,
+                inner.block_size) == (12, 6, 2)
+        assert inner.bias is None
+        assert rebuilt.layers[3].rate == 0.25
+        # Rebuilt parameterised layers are zero placeholders, not draws.
+        assert np.all(rebuilt.layers[0].weight.value == 0.0)
+
+    def test_unsupported_layer_raises(self):
+        class Exotic(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(StoreError, match="Exotic"):
+            layer_to_spec(Sequential(Exotic()))
+
+    def test_unknown_spec_type_raises(self):
+        with pytest.raises(StoreError, match="unknown layer type"):
+            layer_from_spec({"type": "FutureLayer", "config": {}})
+
+    def test_custom_backend_instance_not_persistable(self, tmp_path):
+        net = Sequential(
+            BlockCirculantDense(8, 8, 4, seed=0,
+                                backend=CountingFFTBackend("numpy"))
+        ).compile_inference()
+        with pytest.raises(StoreError, match="unregistered FFT backend"):
+            save_artifact(net, tmp_path)
+
+
+class TestManifestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="not an artifact directory"):
+            read_manifest(tmp_path)
+
+    def test_truncated_json(self, tmp_path):
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        manifest_path = tmp_path / "manifest.json"
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        with pytest.raises(StoreError, match="truncated or corrupted"):
+            read_manifest(tmp_path)
+        with pytest.raises(StoreError):
+            load_artifact(tmp_path)
+
+    def test_missing_keys(self, tmp_path):
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        del manifest["spectra"]
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="missing required keys"):
+            read_manifest(tmp_path)
+
+    def test_unknown_format_version(self, tmp_path):
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["format"] = "repro.store/999"
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="not supported"):
+            read_manifest(tmp_path)
+
+    def test_verify_artifact_catches_hand_edited_manifest(self, tmp_path):
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["serving_signature"]["layers"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreIntegrityError, match="content hash"):
+            verify_artifact(tmp_path)
+
+    def test_verify_artifact_passes_on_fresh_save(self, tmp_path):
+        net = _conv_net().compile_inference()
+        manifest = save_artifact(net, tmp_path)
+        assert verify_artifact(tmp_path)["content_hash"] == \
+            manifest["content_hash"]
+
+
+# ---------------------------------------------------------------------------
+# Artifact save/load round trips
+# ---------------------------------------------------------------------------
+
+class TestArtifactRoundTrip:
+    @pytest.mark.parametrize("codec,mmap", [
+        ("zlib", False), ("identity", True), ("identity", False),
+    ])
+    def test_fc_bit_identical(self, tmp_path, rng, codec, mmap):
+        net = _fc_net()
+        x = rng.normal(size=(6, 32))
+        net.compile_inference()
+        expected = net.inference_forward(x)
+        save_artifact(net, tmp_path, codec=codec)
+        loaded = load_artifact(tmp_path, mmap=mmap)
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+        assert all(p.frozen for p in loaded.parameters())
+        assert loaded.serving_signature() == net.serving_signature()
+
+    def test_conv_bit_identical(self, tmp_path, rng):
+        net = _conv_net()
+        x = rng.normal(size=(3, 4, 6, 6))
+        net.compile_inference()
+        expected = net.inference_forward(x)
+        save_artifact(net, tmp_path, codec="identity")
+        loaded = load_artifact(tmp_path)
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+
+    def test_padded_non_divisible_blocks_bit_identical(self, tmp_path, rng):
+        # Neither the FC dims (10 -> 7, k=4) nor the CONV channels
+        # (5 -> 6, k=4) divide the block size: the padded defining-vector
+        # grids and their spectra must survive the store unchanged.
+        net = Sequential(
+            BlockCirculantConv2D(5, 6, 3, block_size=4, padding=1, seed=3),
+            ReLU(),
+            Flatten(),
+            BlockCirculantDense(6 * 5 * 5, 7, 4, seed=4),
+        )
+        x = rng.normal(size=(2, 5, 5, 5))
+        net.compile_inference()
+        expected = net.inference_forward(x)
+        save_artifact(net, tmp_path)
+        loaded = load_artifact(tmp_path)
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+
+    def test_quantized_view_round_trips(self, tmp_path, rng):
+        net = _fc_net().compile_inference()
+        qnet = quantized_view(net, weight_bits=8, activation_bits=8)
+        qnet.compile_inference()
+        x = rng.normal(size=(5, 32))
+        expected = qnet.inference_forward(x)
+        manifest = save_artifact(qnet, tmp_path)
+        assert manifest["quantization"] == {
+            "weight_bits": 8, "activation_bits": 8,
+        }
+        loaded = load_artifact(tmp_path)
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+        assert loaded.weight_quant_bits == 8
+
+    def test_load_runs_zero_ffts(self, tmp_path, rng):
+        net = _conv_net()
+        x = rng.normal(size=(3, 4, 6, 6))
+        net.compile_inference()
+        expected = net.inference_forward(x)
+        save_artifact(net, tmp_path)
+        counting = CountingFFTBackend("numpy")
+        loaded = load_artifact(tmp_path, backend=counting)
+        assert counting.total() == 0  # the whole point of the store
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+        # The first forward spent transforms on activations only, never on
+        # weights: a second forward (spectra now indisputably warm) costs
+        # exactly the same number of calls.
+        first_forward = counting.total()
+        assert first_forward > 0
+        counting.reset()
+        loaded.inference_forward(x)
+        assert counting.total() == first_forward
+
+    def test_save_requires_compiled_network(self, tmp_path):
+        with pytest.raises(StoreError, match="compiled network"):
+            save_artifact(_fc_net(), tmp_path)
+
+    def test_save_refuses_overwrite_by_default(self, tmp_path, rng):
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        with pytest.raises(StoreError, match="already holds an artifact"):
+            save_artifact(net, tmp_path)
+        save_artifact(net, tmp_path, overwrite=True)
+
+    def test_corrupted_parameter_chunk_fails_load(self, tmp_path, rng):
+        net = _fc_net().compile_inference()
+        manifest = save_artifact(net, tmp_path)
+        record = manifest["parameters"][0]
+        path = tmp_path / record["array"]["file"]
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StoreIntegrityError):
+            load_artifact(tmp_path, mmap=False)
+        with pytest.raises(StoreIntegrityError):
+            verify_artifact(tmp_path)
+
+    def test_spectrum_seeded_not_recomputed(self, tmp_path, rng):
+        # The loaded spectrum IS the stored frequency-major buffer: its
+        # values match a fresh compile bit-for-bit.
+        net = _fc_net()
+        net.compile_inference()
+        save_artifact(net, tmp_path, codec="identity")
+        loaded = load_artifact(tmp_path)
+        for (_, fresh_layer), (_, loaded_layer) in zip(
+            net.spectral_layers(), loaded.spectral_layers()
+        ):
+            fresh = fresh_layer.spectral_cache.spectrum(
+                fresh_layer.weight, fresh_layer.backend)
+            stored = loaded_layer.spectral_cache.spectrum(
+                loaded_layer.weight, loaded_layer.backend)
+            np.testing.assert_array_equal(stored, fresh)
+            # Frequency-major memory: the (f, p, q) transpose of an FC
+            # spectrum is the contiguous buffer, mapped straight from disk.
+            assert stored.transpose(2, 0, 1).flags.c_contiguous
+
+
+# ---------------------------------------------------------------------------
+# SpectralWeightCache.seed
+# ---------------------------------------------------------------------------
+
+class TestCacheSeed:
+    def test_seeded_spectrum_served_verbatim(self):
+        layer = BlockCirculantDense(16, 8, 4, seed=0)
+        counting = CountingFFTBackend("numpy")
+        reference = counting.rfft(layer.weight.value)
+        counting.reset()
+        cache = SpectralWeightCache()
+        cache.seed(layer.weight, reference, backend=counting)
+        served = cache.spectrum(layer.weight, counting)
+        assert counting.total() == 0
+        np.testing.assert_array_equal(served, reference)
+        assert not served.flags.writeable
+
+    def test_seed_rejects_wrong_shape_and_dtype(self):
+        layer = BlockCirculantDense(16, 8, 4, seed=0)
+        cache = SpectralWeightCache()
+        with pytest.raises(ShapeError):
+            cache.seed(layer.weight, np.zeros((2, 4, 99), dtype=complex))
+        with pytest.raises(ShapeError):
+            cache.seed(layer.weight, np.zeros((2, 4, 3)))  # real, not complex
+
+    def test_seeded_entry_goes_stale_with_the_parameter(self):
+        layer = BlockCirculantDense(16, 8, 4, seed=0)
+        counting = CountingFFTBackend("numpy")
+        cache = SpectralWeightCache()
+        cache.seed(layer.weight, counting.rfft(layer.weight.value),
+                   backend=counting)
+        counting.reset()
+        layer.weight.value = np.ones_like(layer.weight.value)
+        refreshed = cache.spectrum(layer.weight, counting)
+        assert counting.counts["rfft"] == 1  # recomputed, not served stale
+        np.testing.assert_array_equal(
+            refreshed, counting.inner.rfft(layer.weight.value))
+
+
+# ---------------------------------------------------------------------------
+# load_parameters on a compiled network (thaw-and-reload contract)
+# ---------------------------------------------------------------------------
+
+class TestCompiledReload:
+    def test_load_parameters_thaws_and_invalidates_spectra(self, tmp_path,
+                                                           rng):
+        donor = _fc_net(seed=7)
+        npz = tmp_path / "weights.npz"
+        save_parameters(donor, npz)
+
+        net = _fc_net(seed=0)
+        net.compile_inference()
+        assert all(p.frozen for p in net.parameters())
+        load_parameters(net, npz)
+        # Thawed: each parameter got a fresh writable array + version bump.
+        assert all(not p.frozen for p in net.parameters())
+        x = rng.normal(size=(4, 32))
+        expected = donor.inference_forward(x)
+        np.testing.assert_array_equal(net.inference_forward(x), expected)
+        # Serving re-froze each weight as its spectrum refreshed; biases
+        # stay writable until the next compile_inference().
+        for _, layer in net.spectral_layers():
+            assert layer.weight.frozen
+            assert not layer.bias.frozen
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore versioning
+# ---------------------------------------------------------------------------
+
+class TestArtifactStore:
+    def test_publish_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        net = _fc_net().compile_inference()
+        first = store.publish("fc", net)
+        second = store.publish("fc", net)
+        assert first == second
+        assert store.versions("fc") == [first.name]
+        assert len(first.name) == 12
+
+    def test_new_content_gets_new_version(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path / "store")
+        net = _fc_net().compile_inference()
+        v1 = store.publish("fc", net)
+        net.layers[0].weight.value = rng.normal(
+            size=net.layers[0].weight.value.shape)
+        net.compile_inference()
+        v2 = store.publish("fc", net)
+        assert v1 != v2
+        assert store.versions("fc") == [v1.name, v2.name]
+        assert store.latest("fc") == v2
+
+    def test_load_round_trips(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path / "store")
+        net = _conv_net().compile_inference()
+        x = rng.normal(size=(2, 4, 6, 6))
+        expected = net.inference_forward(x)
+        store.publish("conv", net)
+        loaded = store.load("conv")
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+
+    def test_unknown_model_and_version_raise(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.versions("ghost")
+        net = _fc_net().compile_inference()
+        store.publish("fc", net)
+        with pytest.raises(StoreError):
+            store.path("fc", "definitelynot")
+
+    def test_models_listing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.models() == []
+        net = _fc_net().compile_inference()
+        store.publish("b-model", net)
+        store.publish("a-model", net)
+        assert store.models() == ["a-model", "b-model"]
+
+
+# ---------------------------------------------------------------------------
+# ModelRegistry integration
+# ---------------------------------------------------------------------------
+
+class TestRegistryFromStore:
+    def test_load_endpoint_serves_without_compiling(self, tmp_path, rng):
+        net = _fc_net()
+        x = rng.normal(size=(4, 32))
+        net.compile_inference()
+        expected = net.inference_forward(x)
+        save_artifact(net, tmp_path, codec="identity")
+
+        registry = ModelRegistry()
+        served = registry.load_endpoint("fc", tmp_path)
+        assert registry.generation("fc") == 0
+        np.testing.assert_array_equal(
+            registry.get("fc").inference_forward(x), expected)
+        assert all(p.frozen for p in served.parameters())
+
+    def test_swap_from_store_and_rollback(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path / "store")
+        x = rng.normal(size=(4, 32))
+        net_v1 = _fc_net(seed=0)
+        net_v1.compile_inference()
+        expected_v1 = net_v1.inference_forward(x)
+        v1 = store.publish("fc", net_v1)
+        net_v2 = _fc_net(seed=9)
+        net_v2.compile_inference()
+        expected_v2 = net_v2.inference_forward(x)
+        v2 = store.publish("fc", net_v2)
+
+        registry = ModelRegistry()
+        registry.load_endpoint("fc", v1)
+        old = registry.swap_from_store("fc", v2)
+        assert registry.generation("fc") == 1
+        np.testing.assert_array_equal(
+            registry.get("fc").inference_forward(x), expected_v2)
+        np.testing.assert_array_equal(
+            old.inference_forward(x), expected_v1)
+        # Rollback is just another swap, pointed at the old version dir.
+        registry.swap_from_store("fc", v1)
+        assert registry.generation("fc") == 2
+        np.testing.assert_array_equal(
+            registry.get("fc").inference_forward(x), expected_v1)

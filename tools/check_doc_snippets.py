@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Fail CI when a python snippet in the docs no longer executes.
+
+Extracts every fenced ```` ```python ```` block from the Markdown docs and
+executes the blocks of each file **cumulatively** in one namespace (so a
+quickstart can build a network in one block and serve it in the next),
+inside a temporary working directory (so snippets may write files like
+model artifacts without dirtying the repo). A snippet that raises fails
+the check with the file, the block's ordinal, and the traceback — turning
+the documentation into executable examples that cannot silently rot as
+the API moves.
+
+Blocks that are deliberately non-runnable (pseudo-code, fragments showing
+a signature) opt out by tagging the fence info string::
+
+    ```python no-run
+    net.compile_inference(cache=...)   # never executed
+    ```
+
+Usage::
+
+    PYTHONPATH=src python tools/check_doc_snippets.py [paths...]
+
+Each path may be a Markdown file or a directory (searched recursively for
+``*.md``). With no arguments, checks everything under ``docs/``. Exits
+non-zero listing every failing snippet.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Opening fence with a python info string; the ``no-run`` tag opts out.
+_FENCE_OPEN = re.compile(r"^```python(?P<tags>[^\n`]*)$")
+_FENCE_CLOSE = re.compile(r"^```\s*$")
+
+
+def iter_markdown_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .md file list."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.suffix.lower() == ".md" and path.exists():
+            files.add(path)
+        else:
+            print(f"warning: skipping non-markdown path {path}",
+                  file=sys.stderr)
+    return sorted(files)
+
+
+def extract_snippets(text: str) -> list[tuple[int, int, str, bool]]:
+    """``(ordinal, line, source, runnable)`` for each ```python block."""
+    snippets: list[tuple[int, int, str, bool]] = []
+    lines = text.splitlines()
+    index = 0
+    ordinal = 0
+    while index < len(lines):
+        match = _FENCE_OPEN.match(lines[index].strip())
+        if match is None:
+            index += 1
+            continue
+        ordinal += 1
+        start = index + 1
+        body: list[str] = []
+        index = start
+        while index < len(lines) and not _FENCE_CLOSE.match(lines[index]):
+            body.append(lines[index])
+            index += 1
+        index += 1  # past the closing fence
+        runnable = "no-run" not in match.group("tags").split()
+        snippets.append((ordinal, start + 1, "\n".join(body), runnable))
+    return snippets
+
+
+def check_file(md_file: Path) -> tuple[list[str], int]:
+    """Run one file's snippets cumulatively; returns (problems, run count)."""
+    problems: list[str] = []
+    try:
+        shown = md_file.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = md_file
+    namespace: dict = {"__name__": f"docsnippets[{shown}]"}
+    executed = 0
+    for ordinal, line, source, runnable in extract_snippets(
+        md_file.read_text(encoding="utf-8")
+    ):
+        if not runnable:
+            continue
+        try:
+            code = compile(source, f"{shown}:snippet-{ordinal}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+            executed += 1
+        except Exception:
+            problems.append(
+                f"{shown}: python snippet #{ordinal} (line {line}) raised:\n"
+                + traceback.format_exc(limit=4)
+            )
+    return problems, executed
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        roots = [Path(arg).resolve() for arg in argv]
+    else:
+        roots = [REPO_ROOT / "docs"]
+        roots = [p for p in roots if p.exists()]
+    files = iter_markdown_files(roots)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    executed = 0
+    # Snippets that persist artifacts write into a scratch cwd, not the repo.
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="doc-snippets-") as scratch:
+        os.chdir(scratch)
+        try:
+            for md_file in files:
+                file_problems, file_runs = check_file(md_file)
+                problems.extend(file_problems)
+                executed += file_runs
+        finally:
+            os.chdir(original_cwd)
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s), executed {executed} snippet(s): "
+          f"{'FAIL' if problems else 'ok'} ({len(problems)} failing)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
