@@ -63,6 +63,36 @@ class _CacheEntry:
     version: int
 
 
+def spectrum_layout(spectrum: np.ndarray) -> tuple[str, np.ndarray]:
+    """``(layout, frequency-major buffer)`` for a natural-view spectrum.
+
+    The cache stores FC spectra as ``(p, q, f)`` views over
+    ``(f, p, q)``-contiguous memory and CONV spectra as ``(r², p, q, f)``
+    views over ``(f, p, r², q)``-contiguous memory, so these transposes
+    reproduce the contiguous buffer without copying. The buffer is what
+    serialising consumers (the artifact store's chunk files, the
+    multi-process server's shared-memory images) persist byte-for-byte;
+    :func:`natural_view` inverts it on the way back in.
+    """
+    if spectrum.ndim == 3:
+        return "fc", spectrum.transpose(2, 0, 1)
+    if spectrum.ndim == 4:
+        return "conv", spectrum.transpose(3, 1, 0, 2)
+    raise ShapeError(
+        f"unsupported spectrum rank {spectrum.ndim}; expected the FC (3-d) "
+        "or CONV (4-d) frequency-major layout"
+    )
+
+
+def natural_view(buffer: np.ndarray, layout: str) -> np.ndarray:
+    """Invert :func:`spectrum_layout`: stored buffer → natural view."""
+    if layout == "fc":
+        return buffer.transpose(1, 2, 0)
+    if layout == "conv":
+        return buffer.transpose(2, 1, 3, 0)
+    raise ShapeError(f"unknown spectrum layout {layout!r}")
+
+
 class SpectralWeightCache:
     """Precomputed ``rfft`` of defining vectors, invalidated by version.
 
@@ -185,6 +215,25 @@ class SpectralWeightCache:
             if owner is None or owner() is not param:
                 self._owners[pid] = weakref.ref(param, self._make_purge(pid))
         return spectrum
+
+    def seed_buffer(
+        self, param, buffer: np.ndarray, layout: str, backend=None,
+    ) -> np.ndarray:
+        """Seed from a serialised **frequency-major buffer** (zero FFTs).
+
+        The buffer-side twin of :meth:`seed`, for consumers that persist
+        the cache's contiguous frequency-major memory rather than the
+        natural logical view — the artifact store's chunk files and the
+        multi-process server's shared-memory images both do. ``layout``
+        is the tag :func:`spectrum_layout` produced (``"fc"``/``"conv"``);
+        the natural view is restored by the inverse transpose, so the
+        seeded entry aliases ``buffer`` directly — a memory map or a
+        shared-memory segment stays zero-copy all the way into the
+        per-frequency GEMM.
+        """
+        return self.seed(
+            param, natural_view(np.asarray(buffer), layout), backend
+        )
 
     def __deepcopy__(self, memo) -> "SpectralWeightCache":
         # Locks and weakrefs do not survive deepcopy, and cloned entries

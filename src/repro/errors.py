@@ -36,6 +36,49 @@ class BackendError(ReproError, ValueError):
     """An unknown or unavailable compute backend was requested."""
 
 
+class ServingError(ReproError, RuntimeError):
+    """A serving-runtime request could not be served (see :mod:`repro.serving`).
+
+    The common base of the runtime's *typed request outcomes* — admission
+    rejection, deadline expiry, worker loss. Catching ``ServingError``
+    around a ``Future.result()`` handles every way the serving layer can
+    fail a request without touching model-level errors (``ShapeError``
+    etc.), which indicate a malformed request rather than an overloaded
+    or degraded server.
+    """
+
+
+class QueueFullError(ServingError):
+    """Admission control rejected a request because the endpoint is full.
+
+    The load-shedding fast path: raised synchronously at ``submit()``
+    time — never after queueing — when an endpoint's bounded queue
+    already holds ``queue_depth`` outstanding requests. Callers should
+    back off or retry elsewhere; the server sheds instead of building an
+    unbounded backlog whose every entry would miss its deadline anyway.
+    """
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline passed before a worker produced its result.
+
+    Deadlines propagate with the request: the scheduler drops
+    already-expired entries at batch formation and workers re-check
+    before running a batch, so a hopeless request costs no forward pass.
+    """
+
+
+class WorkerCrashedError(ServingError):
+    """A serving worker process died with this request in flight.
+
+    Raised on every future assigned to the dead worker. The supervisor
+    respawns a replacement from the shared-memory endpoint images (no
+    FFT, no recompile), so subsequent requests succeed; in-flight ones
+    fail fast with this error instead of hanging on a result that will
+    never arrive.
+    """
+
+
 class StoreError(ReproError, ValueError):
     """A model-artifact store operation failed (see :mod:`repro.store`).
 

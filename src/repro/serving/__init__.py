@@ -19,9 +19,18 @@ Three pieces, documented end to end in ``docs/serving_runtime.md``:
 - :class:`~repro.serving.server.InferenceServer` — the request/response
   runtime: per-endpoint lanes feed assembled batches to a worker thread
   pool, which runs one reentrant compiled forward per batch
-  (``Sequential.inference_forward``) and scatters rows to futures.
+  (``Sequential.inference_forward``) and scatters rows to futures;
+- :class:`~repro.serving.multiproc.MPInferenceServer` — the same request
+  path over worker *processes*: every endpoint generation is shared once
+  via ``multiprocessing.shared_memory``
+  (:mod:`repro.serving.shm`), workers attach read-only views (zero
+  per-worker FFTs or weight copies), hot swap stays atomic across
+  processes, overload is shed (:class:`~repro.errors.QueueFullError`,
+  per-request deadlines), and crashed workers are respawned from the
+  shared images (:class:`~repro.errors.WorkerCrashedError`).
 """
 
+from repro.serving.multiproc import BatchGate, MPInferenceServer
 from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
 from repro.serving.scheduler import (
     BatchPolicy,
@@ -33,6 +42,13 @@ from repro.serving.server import (
     InferenceRequest,
     InferenceResponse,
     InferenceServer,
+    resolve_many,
+)
+from repro.serving.shm import (
+    AttachedEndpoint,
+    SharedEndpointImage,
+    attach_image,
+    publish_image,
 )
 
 __all__ = [
@@ -45,4 +61,11 @@ __all__ = [
     "InferenceRequest",
     "InferenceResponse",
     "InferenceServer",
+    "MPInferenceServer",
+    "BatchGate",
+    "resolve_many",
+    "AttachedEndpoint",
+    "SharedEndpointImage",
+    "attach_image",
+    "publish_image",
 ]

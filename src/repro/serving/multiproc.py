@@ -1,0 +1,979 @@
+"""Multi-process serving: one shared model image, N worker processes.
+
+The thread-pool :class:`~repro.serving.server.InferenceServer` scales as
+far as NumPy releases the GIL; the pure-Python FFT backends (and any
+Python-level layer work) serialise on it. :class:`MPInferenceServer`
+breaks that ceiling by running the compiled forwards in **worker
+processes** — without paying the naive cost of multi-process serving,
+which is N copies of every model and N redundant compile passes:
+
+- Every endpoint generation is serialised **once** into a
+  shared-memory segment (:func:`repro.serving.shm.publish_image`) and
+  each worker attaches read-only views (:func:`repro.serving.shm.attach_image`)
+  — zero per-worker warm-up FFTs, zero per-worker weight RAM beyond page
+  tables.
+- Hot swap stays atomic *across processes*: every task is tagged with
+  the registry generation it must run on, and a worker only ever
+  executes a task against exactly that generation's image. Because the
+  image is published into a worker's task pipe **before** any task that
+  references it (and retired only after), FIFO pipe ordering makes each
+  response old-or-new, never mixed.
+- Overload is shed, not queued: lanes carry a bounded admission queue
+  (``queue_depth``) whose overflow raises
+  :class:`~repro.errors.QueueFullError` synchronously at ``submit()``,
+  and per-request deadlines travel with the task so both the scheduler
+  and the worker drop work that can no longer meet them
+  (:class:`~repro.errors.DeadlineExceededError`).
+- Workers are supervised: a dead child (segfault, OOM kill) fails its
+  in-flight batches fast with :class:`~repro.errors.WorkerCrashedError`
+  and is respawned from the shared images — a cold respawn re-attaches,
+  it never recompiles.
+
+Wire protocol (one dedicated pipe pair per worker, so a SIGKILL mid-
+operation can never poison a lock shared with its siblings)::
+
+    parent -> worker : ("publish", descriptor)
+                       ("retire", endpoint, below_generation)
+                       ("task", batch_id, endpoint, generation, x, deadline)
+                       ("stop",)
+    worker -> parent : ("done", batch_id, y)
+                       ("expired", batch_id)
+                       ("error", batch_id, exception)
+
+See the "Multi-process serving" section of ``docs/serving_runtime.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import Future
+from multiprocessing import connection
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    QueueFullError,
+    WorkerCrashedError,
+)
+from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatcher,
+    assemble_batch,
+    check_sample_shape,
+)
+from repro.serving.server import (
+    _WAKE,
+    InferenceRequest,
+    InferenceResponse,
+    resolve_many,
+)
+from repro.serving.shm import attach_image, publish_image
+
+#: How long stop() waits for a worker to exit before terminating it.
+_JOIN_TIMEOUT_S = 5.0
+
+
+class BatchGate:
+    """Deterministic fault-injection hook: hold a worker *inside* a batch.
+
+    The fault tests need to kill a worker at a precisely known point —
+    after it has dequeued a task and entered the forward, before it
+    replies. Sleeping and hoping is not deterministic; this is. Arm the
+    gate, submit work, wait for :attr:`entered`, and the worker is now
+    parked inside the batch with its pid in :attr:`pid` — SIGKILL it, or
+    measure queue behaviour while it is wedged, then :meth:`open` to let
+    any survivor proceed.
+
+    The gate is built on context-specific primitives so it crosses the
+    ``spawn`` boundary; pass it to :class:`MPInferenceServer` as
+    ``batch_gate=``. Unarmed (the default), workers never touch it.
+
+    The park is a poll on a lock-free ``RawValue`` flag, *not* an
+    ``Event.wait()``, so that a parked worker holds no IPC state that
+    dies with it: a process SIGKILLed while registered as a sleeper on a
+    ``multiprocessing.Event`` poisons the event — the next ``set()``
+    blocks forever waiting for the dead sleeper to acknowledge its
+    wake-up. Killing a parked worker is this gate's entire purpose, so a
+    parked worker must be killable without leaving anything behind.
+    """
+
+    def __init__(self, context) -> None:
+        self._armed = context.Value("i", 0)
+        #: pid of the worker currently parked in the gate.
+        self.pid = context.RawValue("i", 0)
+        #: set by the worker once it is parked inside the batch.
+        self.entered = context.Event()
+        # Single-writer release flag the parked worker polls; see the
+        # class docstring for why this is not an Event.
+        self._release = context.RawValue("i", 0)
+
+    def arm(self, batches: int = 1) -> None:
+        """Make the next ``batches`` task executions park in the gate."""
+        with self._armed.get_lock():
+            self._armed.value += batches
+
+    def open(self) -> None:
+        """Release any parked worker and disarm. Never blocks."""
+        with self._armed.get_lock():
+            self._armed.value = 0
+        self._release.value = 1
+
+    def hold_if_armed(self) -> None:
+        """Worker side: park if armed; no-op (no IPC) otherwise."""
+        with self._armed.get_lock():
+            if self._armed.value <= 0:
+                return
+            self._armed.value -= 1
+        self.pid.value = os.getpid()
+        self.entered.set()
+        while not self._release.value:
+            time.sleep(0.001)
+
+
+def _worker_main(task_conn, result_conn, descriptors, gate) -> None:
+    """Worker process body: attach shared images, serve tasks until stop.
+
+    ``descriptors`` seeds the initial images (a respawned worker gets the
+    current image set the same way); later generations arrive as
+    ``publish`` messages. Strictly sequential message processing is what
+    the swap protocol's FIFO argument rests on.
+    """
+    images: dict[str, dict[int, object]] = {}
+
+    def publish(descriptor) -> None:
+        try:
+            attached = attach_image(descriptor)
+        except FileNotFoundError:
+            # The parent already retired this generation: every task that
+            # referenced it resolved before the unlink, so no task for it
+            # can still be behind us in the pipe. Nothing to install.
+            return
+        images.setdefault(descriptor["endpoint"], {})[
+            descriptor["generation"]
+        ] = attached
+
+    for descriptor in descriptors:
+        publish(descriptor)
+    while True:
+        try:
+            message = task_conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; nothing left to serve
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "publish":
+            publish(message[1])
+            continue
+        if kind == "retire":
+            _, endpoint, below = message
+            generations = images.get(endpoint, {})
+            for generation in [g for g in generations if g < below]:
+                generations.pop(generation).close()
+            continue
+        # ("task", batch_id, endpoint, generation, x, deadline)
+        _, batch_id, endpoint, generation, x, deadline = message
+        try:
+            if gate is not None:
+                gate.hold_if_armed()
+            if deadline is not None and time.monotonic() > deadline:
+                result_conn.send(("expired", batch_id))
+                continue
+            attached = images[endpoint][generation]
+            y = np.asarray(attached.network.inference_forward(x))
+            result_conn.send(("done", batch_id, y))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            try:
+                result_conn.send(("error", batch_id, exc))
+            except Exception:
+                result_conn.send(
+                    ("error", batch_id, RuntimeError(repr(exc)))
+                )
+    for generations in images.values():
+        for attached in generations.values():
+            attached.close()
+
+
+class _Worker:
+    """Parent-side handle of one worker process and its dedicated pipes."""
+
+    def __init__(self, index: int, process, task_conn, result_conn):
+        self.index = index
+        self.process = process
+        self.task_conn = task_conn
+        self.result_conn = result_conn
+        self.alive = True
+        # Set (under the server lock) by the one _reap that processes this
+        # worker's death. `alive` alone cannot dedup reaps: a dispatcher
+        # that hits a broken pipe clears it first, and that must not
+        # swallow the respawn.
+        self.reaped = False
+
+    def close_pipes(self) -> None:
+        for conn in (self.task_conn, self.result_conn):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class _Inflight:
+    """One dispatched batch awaiting its worker's reply."""
+
+    __slots__ = ("endpoint", "generation", "items", "rows", "padded",
+                 "closed", "worker_index")
+
+    def __init__(self, endpoint, generation, items, rows, padded, closed,
+                 worker_index):
+        self.endpoint = endpoint
+        self.generation = generation
+        self.items = items          # [(request, future), ...] — claimed
+        self.rows = rows            # real rows (batch may be padded)
+        self.padded = padded        # zero rows appended by assemble_batch
+        self.closed = closed        # lane batch-close instant
+        self.worker_index = worker_index
+
+
+class _Lane:
+    """Per-endpoint bounded batcher plus its batch-forming thread."""
+
+    def __init__(self, batcher: MicroBatcher, thread: threading.Thread):
+        self.batcher = batcher
+        self.thread = thread
+
+
+class MPInferenceServer:
+    """Multi-process serving runtime over shared-memory endpoint images.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.serving.registry.ModelRegistry` or a single
+        network (registered under ``"default"``, compiled if needed).
+        Every endpoint present at :meth:`start` is published to shared
+        memory; endpoints registered or swapped afterwards (including
+        :meth:`~repro.serving.registry.ModelRegistry.swap_from_store`
+        called directly on the registry) are picked up through the
+        registry's subscription hook.
+    workers:
+        Number of worker processes. Each attaches the *same* shared
+        images — per-worker incremental memory is page tables, not
+        weights.
+    max_batch, max_wait_ms, pad_to_multiple:
+        The usual :class:`~repro.serving.scheduler.BatchPolicy` knobs.
+    queue_depth:
+        Bound on **unresolved** requests per endpoint — queued *and*
+        dispatched-but-unanswered, so a wedged worker cannot grow an
+        unbounded pipe backlog either. When full, :meth:`submit` raises
+        :class:`~repro.errors.QueueFullError` synchronously — load is
+        shed at admission, never silently backlogged. ``None`` = unbounded.
+    start_method:
+        ``multiprocessing`` start method; the default ``"spawn"`` is the
+        only one that is safe regardless of the parent's thread activity.
+    batch_gate:
+        Optional :class:`BatchGate` for fault-injection tests.
+    """
+
+    def __init__(self, model, *, workers: int = 2, max_batch: int = 16,
+                 max_wait_ms: float = 2.0,
+                 pad_to_multiple: int | None = None,
+                 queue_depth: int | None = None,
+                 start_method: str = "spawn",
+                 batch_gate: BatchGate | None = None):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if isinstance(model, ModelRegistry):
+            self.registry = model
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register(DEFAULT_ENDPOINT, model)
+        self.policy = BatchPolicy(
+            max_batch=max_batch, max_wait_ms=max_wait_ms,
+            pad_to_multiple=pad_to_multiple,
+        )
+        self.worker_count = workers
+        self.queue_depth = queue_depth
+        self.batch_gate = batch_gate
+        import multiprocessing
+
+        self._context = multiprocessing.get_context(start_method)
+        # One lock guards workers, images, the current-generation map and
+        # the in-flight table: the swap protocol's ordering guarantees
+        # (publish broadcast before the generation map moves, tasks tagged
+        # under the same lock) all hang off its critical sections.
+        self._lock = threading.RLock()
+        self._lifecycle = threading.Lock()
+        self._stop = threading.Event()
+        self._stop.set()  # not started yet
+        self._closing = False
+        self._workers: list[_Worker] = []
+        self._images: dict[str, dict[int, object]] = {}
+        self._current: dict[str, int] = {}
+        self._inflight: dict[int, _Inflight] = {}
+        self._inflight_cv = threading.Condition(self._lock)
+        # Notified when the supervisor installs a respawned worker, so a
+        # dispatch that finds every worker dead can wait for the
+        # replacement instead of failing a batch the respawn would have
+        # served milliseconds later.
+        self._workers_cv = threading.Condition(self._lock)
+        self._lanes: dict[str, _Lane] = {}
+        # Unresolved requests per endpoint (queued + dispatched): the
+        # admission-control counter queue_depth bounds. Incremented at
+        # submit, released by each future's done callback — so the bound
+        # covers work a wedged worker is sitting on, not just the queue.
+        self._outstanding: dict[str, int] = {}
+        self._collector: threading.Thread | None = None
+        self._wake_r = None
+        self._wake_w = None
+        self._next_worker = 0
+        self._ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._responses = 0
+        self._batches = 0
+        self._batched_rows = 0
+        self._padded_rows = 0
+        self._errors = 0
+        self._cancelled = 0
+        self._shed = 0
+        self._expired = 0
+        self._crashes = 0
+        self._respawns = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return not self._stop.is_set()
+
+    def start(self) -> "MPInferenceServer":
+        """Publish every endpoint to shared memory and spawn the workers."""
+        with self._lifecycle:
+            if self.running:
+                return self
+            self._closing = False
+            images: dict[str, dict[int, object]] = {}
+            current: dict[str, int] = {}
+            for endpoint in self.registry.endpoints():
+                net, generation = self.registry.snapshot(endpoint)
+                images[endpoint] = {
+                    generation: publish_image(endpoint, net, generation)
+                }
+                current[endpoint] = generation
+            self._wake_r, self._wake_w = self._context.Pipe(duplex=False)
+            with self._lock:
+                self._images = images
+                self._current = current
+                self._workers = [
+                    self._spawn(index) for index in range(self.worker_count)
+                ]
+                self._stop.clear()
+            self._collector = threading.Thread(
+                target=self._collect, name="repro-mp-collector", daemon=True,
+            )
+            self._collector.start()
+            self.registry.subscribe(self._on_publish)
+        return self
+
+    def stop(self, drain_timeout_s: float | None = None) -> None:
+        """Drain lanes, settle in-flight batches, stop and reap workers.
+
+        Every request admitted before ``stop()`` resolves: lanes drain
+        their queues (dispatching final batches), the collector settles
+        every in-flight future, and only then are workers told to exit.
+        Shared segments are unlinked last.
+
+        ``drain_timeout_s`` bounds the wait for in-flight batches; if a
+        worker is wedged (stuck kernel, held fault-injection gate) past
+        it, the remaining workers are killed and their batches fail with
+        :class:`~repro.errors.WorkerCrashedError` instead of hanging
+        shutdown forever. ``None`` waits indefinitely.
+        """
+        with self._lifecycle:
+            if not self.running:
+                return
+            self.registry.unsubscribe(self._on_publish)
+            with self._lock:
+                self._stop.set()
+                lanes = list(self._lanes.values())
+            for lane in lanes:
+                lane.batcher.put(_WAKE, force=True)
+            for lane in lanes:
+                lane.thread.join()
+            with self._inflight_cv:
+                drained = self._inflight_cv.wait_for(
+                    lambda: not self._inflight, timeout=drain_timeout_s
+                )
+                self._closing = True
+                workers = list(self._workers)
+            if not drained:
+                # _closing is already set, so the collector fails the
+                # orphaned batches without respawning replacements.
+                for worker in workers:
+                    if worker.alive:
+                        worker.process.kill()
+                with self._inflight_cv:
+                    self._inflight_cv.wait_for(
+                        lambda: not self._inflight,
+                        timeout=_JOIN_TIMEOUT_S,
+                    )
+            for worker in workers:
+                if worker.alive:
+                    try:
+                        worker.task_conn.send(("stop",))
+                    except (OSError, ValueError):
+                        pass
+            for worker in workers:
+                worker.process.join(timeout=_JOIN_TIMEOUT_S)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=_JOIN_TIMEOUT_S)
+            self._wake_collector()
+            if self._collector is not None:
+                self._collector.join()
+                self._collector = None
+            for worker in workers:
+                worker.close_pipes()
+            for conn in (self._wake_r, self._wake_w):
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+            self._wake_r = self._wake_w = None
+            with self._lock:
+                for generations in self._images.values():
+                    for image in generations.values():
+                        image.close_and_unlink()
+                self._images = {}
+                self._current = {}
+                self._workers = []
+                self._lanes.clear()
+
+    def __enter__(self) -> "MPInferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+    def submit(self, x, endpoint: str = DEFAULT_ENDPOINT,
+               deadline_ms: float | None = None) -> Future:
+        """Enqueue one sample; returns a Future of
+        :class:`~repro.serving.server.InferenceResponse`.
+
+        Raises :class:`~repro.errors.QueueFullError` immediately when the
+        endpoint's admission queue (``queue_depth``) is full — the shed
+        path — and :class:`~repro.errors.ShapeError` on a malformed
+        sample. ``deadline_ms`` sets a relative deadline; a request that
+        cannot be served in time fails with
+        :class:`~repro.errors.DeadlineExceededError` instead of occupying
+        a batch (the deadline travels to the worker with the task).
+        """
+        net, _ = self.registry.snapshot(endpoint)
+        x = np.asarray(x, dtype=np.float64)
+        check_sample_shape(x.shape, getattr(net, "input_sample_shape", None))
+        now = time.monotonic()
+        deadline = None if deadline_ms is None else now + deadline_ms / 1e3
+        request = InferenceRequest(
+            request_id=next(self._ids), endpoint=endpoint, x=x,
+            enqueued_at=now, deadline=deadline,
+        )
+        future: Future = Future()
+        with self._lock:
+            if not self.running:
+                raise ConfigurationError(
+                    "MPInferenceServer is not running; call start() or use "
+                    "it as a context manager"
+                )
+            if (self.queue_depth is not None
+                    and self._outstanding.get(endpoint, 0)
+                    >= self.queue_depth):
+                with self._stats_lock:
+                    self._shed += 1
+                raise QueueFullError(
+                    f"endpoint {endpoint!r} already has "
+                    f"{self.queue_depth} unresolved requests; shedding "
+                    "instead of queueing"
+                )
+            self._outstanding[endpoint] = (
+                self._outstanding.get(endpoint, 0) + 1
+            )
+            future.add_done_callback(
+                lambda _f, e=endpoint: self._release(e)
+            )
+            self._lane(endpoint).batcher.put((request, future))
+        with self._stats_lock:
+            self._requests += 1
+        return future
+
+    def _release(self, endpoint: str) -> None:
+        with self._lock:
+            count = self._outstanding.get(endpoint, 0)
+            if count > 0:
+                self._outstanding[endpoint] = count - 1
+
+    def infer(self, x, endpoint: str = DEFAULT_ENDPOINT,
+              timeout: float | None = None,
+              deadline_ms: float | None = None) -> np.ndarray:
+        """Synchronous single-sample convenience: submit and wait."""
+        return self.submit(x, endpoint, deadline_ms=deadline_ms) \
+            .result(timeout).y
+
+    def submit_many(self, samples, endpoint: str = DEFAULT_ENDPOINT,
+                    deadline_ms: float | None = None) -> list[Future]:
+        """Enqueue a burst of samples; returns their futures in order."""
+        return [
+            self.submit(x, endpoint, deadline_ms=deadline_ms)
+            for x in samples
+        ]
+
+    def infer_many(self, samples, endpoint: str = DEFAULT_ENDPOINT,
+                   timeout: float | None = None,
+                   deadline_ms: float | None = None) -> list[np.ndarray]:
+        """Submit a burst, wait under **one shared deadline**, return ys."""
+        futures = self.submit_many(samples, endpoint, deadline_ms=deadline_ms)
+        return [r.y for r in resolve_many(futures, timeout)]
+
+    # -- hot swap ------------------------------------------------------------
+    def swap_from_store(self, endpoint: str, path, *, mmap: bool = True):
+        """Hot-swap ``endpoint`` from a stored artifact, atomically.
+
+        Delegates to
+        :meth:`~repro.serving.registry.ModelRegistry.swap_from_store`;
+        the registry subscription publishes the new generation's shared
+        image to every worker before any task is tagged with it, so each
+        response is computed entirely on one generation.
+        """
+        return self.registry.swap_from_store(endpoint, path, mmap=mmap)
+
+    def _on_publish(self, endpoint: str, network, generation: int) -> None:
+        """Registry subscription: share a newly published generation.
+
+        Ordering is the heart of cross-process swap atomicity: the image
+        is broadcast into every worker's task pipe *before* the current-
+        generation map moves, and tasks are tagged under the same lock —
+        so by pipe FIFO a worker always installs generation G before the
+        first task tagged G arrives, and the retire message trails the
+        last task of the old generation.
+        """
+        if not self.running:
+            return
+        image = publish_image(endpoint, network, generation)
+        with self._lock:
+            if not self.running or generation <= self._current.get(
+                endpoint, -1
+            ):
+                # Two publishes can race here (subscription callbacks run
+                # on their registry-publishing threads): if a newer
+                # generation already landed, this image can never be
+                # tagged by a task — drop it instead of moving the
+                # endpoint backwards.
+                image.close_and_unlink()
+                return
+            self._broadcast(("publish", image.descriptor))
+            self._images.setdefault(endpoint, {})[generation] = image
+            self._current[endpoint] = generation
+            self._broadcast(("retire", endpoint, generation))
+            self._maybe_unlink(endpoint)
+
+    def _broadcast(self, message) -> None:
+        # Caller holds self._lock. A send failure here means the worker
+        # died; the collector will observe the sentinel, fail its batches
+        # and respawn it with the *current* images — which include this
+        # one — so a lost broadcast is self-healing.
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.task_conn.send(message)
+            except (OSError, ValueError):
+                pass
+
+    def _maybe_unlink(self, endpoint: str) -> None:
+        # Caller holds self._lock. A superseded image can be unlinked once
+        # no dispatched batch still references its generation: at that
+        # point every worker that ever ran a task on it has already
+        # attached (it had to, to produce the reply), and workers that
+        # never will are free to ignore the stale publish message.
+        current = self._current.get(endpoint)
+        generations = self._images.get(endpoint, {})
+        referenced = {
+            inflight.generation for inflight in self._inflight.values()
+            if inflight.endpoint == endpoint
+        }
+        for generation in sorted(generations):
+            if generation >= current or generation in referenced:
+                continue
+            generations.pop(generation).close_and_unlink()
+
+    # -- lanes and dispatch --------------------------------------------------
+    def _lane(self, endpoint: str) -> _Lane:
+        with self._lock:
+            lane = self._lanes.get(endpoint)
+            if lane is None:
+                # No batcher-level max_pending: admission control lives in
+                # submit()'s outstanding counter, which also covers
+                # dispatched batches a wedged worker is sitting on.
+                batcher = MicroBatcher(
+                    self.policy,
+                    expired=self._is_expired, on_expired=self._expire_item,
+                )
+                thread = threading.Thread(
+                    target=self._lane_loop, args=(endpoint, batcher),
+                    name=f"repro-mp-lane-{endpoint}", daemon=True,
+                )
+                lane = _Lane(batcher, thread)
+                self._lanes[endpoint] = lane
+                thread.start()
+            return lane
+
+    @staticmethod
+    def _is_expired(item) -> bool:
+        if item is _WAKE:
+            return False
+        request, _ = item
+        return (request.deadline is not None
+                and time.monotonic() > request.deadline)
+
+    def _expire_item(self, item) -> None:
+        request, future = item
+        with self._stats_lock:
+            self._expired += 1
+        if future.set_running_or_notify_cancel():
+            future.set_exception(DeadlineExceededError(
+                f"request {request.request_id} missed its deadline before "
+                "a batch could be formed"
+            ))
+
+    def _lane_loop(self, endpoint: str, batcher: MicroBatcher) -> None:
+        while True:
+            if self._stop.is_set() and batcher.pending() == 0:
+                return
+            batch = batcher.next_batch(timeout=0.05)
+            if not batch:
+                continue
+            closed = time.monotonic()
+            items = [item for item in batch if item is not _WAKE]
+            if not items:
+                continue
+            self._dispatch(endpoint, items, closed)
+
+    def _dispatch(self, endpoint: str, items: list, closed: float) -> None:
+        # Claim futures before any work, exactly like the thread server:
+        # once RUNNING, a client cancel() can no longer race the scatter.
+        live = [
+            (request, future) for request, future in items
+            if future.set_running_or_notify_cancel()
+        ]
+        if len(live) < len(items):
+            with self._stats_lock:
+                self._cancelled += len(items) - len(live)
+        if not live:
+            return
+        requests = [request for request, _ in live]
+        try:
+            x, rows = assemble_batch(
+                [request.x for request in requests],
+                self.policy.pad_to_multiple,
+            )
+        except BaseException as exc:
+            self._fail(live, exc)
+            return
+        # The batch deadline is the latest member deadline: members that
+        # had already expired were dropped at batch formation, so if the
+        # worker finds this deadline passed, *every* member has missed.
+        deadlines = [request.deadline for request in requests]
+        deadline = None if any(d is None for d in deadlines) \
+            else max(deadlines)
+        with self._lock:
+            generation = self._current.get(endpoint)
+            if generation is None:
+                self._fail(live, ConfigurationError(
+                    f"endpoint {endpoint!r} has no published image"
+                ))
+                return
+            batch_id = next(self._batch_ids)
+            sent = False
+            give_up = time.monotonic() + _JOIN_TIMEOUT_S
+            while not sent:
+                worker = self._pick_worker()
+                if worker is None:
+                    # Every worker is dead. The supervisor respawns each
+                    # crashed worker unless the server is closing, so wait
+                    # (lock released) for the replacement rather than
+                    # failing a batch it would serve moments later.
+                    if self._closing or not self._workers_cv.wait(
+                        timeout=max(0.0, give_up - time.monotonic())
+                    ):
+                        self._fail(live, WorkerCrashedError(
+                            "no live worker process to run the batch on"
+                        ))
+                        return
+                    continue
+                try:
+                    worker.task_conn.send(
+                        ("task", batch_id, endpoint, generation, x, deadline)
+                    )
+                    sent = True
+                except (OSError, ValueError):
+                    # The collector reaps marked workers explicitly; wake
+                    # it rather than relying on the sentinel, which it may
+                    # already have stopped watching.
+                    worker.alive = False
+                    self._wake_collector()
+            self._inflight[batch_id] = _Inflight(
+                endpoint, generation, live, rows, x.shape[0] - rows,
+                closed, worker.index,
+            )
+
+    def _pick_worker(self):
+        # Caller holds self._lock: plain round-robin over live workers.
+        for _ in range(len(self._workers)):
+            worker = self._workers[self._next_worker % len(self._workers)]
+            self._next_worker += 1
+            if worker.alive:
+                return worker
+        return None
+
+    def _fail(self, items: list, exc: BaseException,
+              count_errors: bool = True) -> None:
+        if count_errors:
+            with self._stats_lock:
+                self._errors += len(items)
+        for _, future in items:
+            try:
+                future.set_exception(exc)
+            except Exception:
+                pass
+
+    # -- worker supervision --------------------------------------------------
+    def _spawn(self, index: int) -> _Worker:
+        # Caller holds self._lock (or is in single-threaded start()).
+        # Dedicated pipe pair per worker: a SIGKILLed child cannot corrupt
+        # state shared with its siblings, unlike a common mp.Queue whose
+        # feeder lock dies with whoever held it.
+        task_recv, task_send = self._context.Pipe(duplex=False)
+        result_recv, result_send = self._context.Pipe(duplex=False)
+        descriptors = [
+            self._images[endpoint][generation].descriptor
+            for endpoint, generation in self._current.items()
+        ]
+        process = self._context.Process(
+            target=_worker_main,
+            args=(task_recv, result_send, descriptors, self.batch_gate),
+            name=f"repro-mp-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # Close the child's ends in the parent so EOF propagates when the
+        # child dies.
+        task_recv.close()
+        result_send.close()
+        return _Worker(index, process, task_send, result_recv)
+
+    def _wake_collector(self) -> None:
+        if self._wake_w is not None:
+            try:
+                self._wake_w.send(b"w")
+            except (OSError, ValueError):
+                pass
+
+    def _collect(self) -> None:
+        """Collector thread: results, crash detection, respawn — one loop.
+
+        ``connection.wait`` multiplexes every worker's result pipe, every
+        worker's process sentinel, and a wake pipe. Result messages are
+        always drained before a death is acted on, so replies a worker
+        managed to send before dying are still honoured.
+        """
+        while True:
+            with self._lock:
+                by_conn = {
+                    w.result_conn: w for w in self._workers if w.alive
+                }
+                by_sentinel = {
+                    w.process.sentinel: w for w in self._workers if w.alive
+                }
+                marked = [
+                    w for w in self._workers if not w.alive and not w.reaped
+                ]
+                closing = self._closing
+            # A dispatcher that hit a broken pipe marked the worker dead
+            # already — the if-alive filters above exclude it from the wait
+            # set, so reap it here or its in-flight batches (and its
+            # respawn) would be lost.
+            for worker in marked:
+                self._drain_results(worker)
+                self._reap(worker)
+            if closing and not by_conn:
+                return
+            waitables = (
+                list(by_conn) + list(by_sentinel) + [self._wake_r]
+            )
+            ready = connection.wait(waitables, timeout=1.0)
+            dead = []
+            for obj in ready:
+                if obj is self._wake_r:
+                    try:
+                        while self._wake_r.poll():
+                            self._wake_r.recv()
+                    except (EOFError, OSError):
+                        pass
+                    continue
+                worker = by_conn.get(obj)
+                if worker is not None:
+                    if not self._drain_results(worker):
+                        dead.append(worker)
+                    continue
+                worker = by_sentinel.get(obj)
+                if worker is not None and worker not in dead:
+                    dead.append(worker)
+            for worker in dead:
+                self._drain_results(worker)
+                self._reap(worker)
+            with self._lock:
+                if self._closing and not any(
+                    w.alive for w in self._workers
+                ):
+                    return
+
+    def _drain_results(self, worker: _Worker) -> bool:
+        """Deliver every queued reply from ``worker``; False on EOF."""
+        while True:
+            try:
+                if not worker.result_conn.poll():
+                    return True
+                message = worker.result_conn.recv()
+            except (EOFError, OSError):
+                return False
+            self._settle(message)
+
+    def _settle(self, message) -> None:
+        kind, batch_id = message[0], message[1]
+        with self._inflight_cv:
+            inflight = self._inflight.pop(batch_id, None)
+            if inflight is not None:
+                self._maybe_unlink(inflight.endpoint)
+            self._inflight_cv.notify_all()
+        if inflight is None:
+            return
+        if kind == "done":
+            y = message[2][:inflight.rows]
+            if y.shape[0] != len(inflight.items):
+                self._fail(inflight.items, RuntimeError(
+                    f"endpoint {inflight.endpoint!r} returned {y.shape[0]} "
+                    f"output rows for a batch of {len(inflight.items)} "
+                    "requests"
+                ))
+                return
+            done = time.monotonic()
+            for row, (request, future) in zip(y, inflight.items):
+                future.set_result(InferenceResponse(
+                    request_id=request.request_id,
+                    endpoint=inflight.endpoint,
+                    y=row.copy(),
+                    batch_size=inflight.rows,
+                    generation=inflight.generation,
+                    queued_ms=(inflight.closed - request.enqueued_at) * 1e3,
+                    latency_ms=(done - request.enqueued_at) * 1e3,
+                ))
+            with self._stats_lock:
+                self._responses += inflight.rows
+                self._batches += 1
+                self._batched_rows += inflight.rows
+                self._padded_rows += inflight.padded
+        elif kind == "expired":
+            with self._stats_lock:
+                self._expired += len(inflight.items)
+            # Deadline drops are accounted under "expired", not "errors".
+            self._fail(inflight.items, DeadlineExceededError(
+                "the batch deadline passed before the worker could run it"
+            ), count_errors=False)
+        else:  # "error"
+            self._fail(inflight.items, message[2])
+
+    def _reap(self, worker: _Worker) -> None:
+        """A worker died: fail its in-flight batches fast, then respawn."""
+        with self._inflight_cv:
+            if worker.reaped:
+                return
+            worker.reaped = True
+            worker.alive = False
+            orphaned = [
+                (batch_id, inflight)
+                for batch_id, inflight in self._inflight.items()
+                if inflight.worker_index == worker.index
+            ]
+            for batch_id, _ in orphaned:
+                del self._inflight[batch_id]
+            endpoints = {inflight.endpoint for _, inflight in orphaned}
+            for endpoint in endpoints:
+                self._maybe_unlink(endpoint)
+            self._inflight_cv.notify_all()
+            closing = self._closing
+        worker.process.join(timeout=_JOIN_TIMEOUT_S)
+        exitcode = worker.process.exitcode
+        for _, inflight in orphaned:
+            self._fail(inflight.items, WorkerCrashedError(
+                f"worker process {worker.index} died (exit code "
+                f"{exitcode}) with the batch in flight"
+            ))
+        if closing:
+            return
+        with self._stats_lock:
+            self._crashes += 1
+        worker.close_pipes()
+        with self._lock:
+            if self._closing:
+                return
+            replacement = self._spawn(worker.index)
+            slot = self._workers.index(worker)
+            self._workers[slot] = replacement
+            self._workers_cv.notify_all()
+        with self._stats_lock:
+            self._respawns += 1
+
+    # -- stats ---------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Serving counters, including the overload and fault ones.
+
+        ``shed`` counts :class:`~repro.errors.QueueFullError` fast
+        rejects, ``expired`` counts deadline drops (scheduler- and
+        worker-side), ``crashes``/``respawns`` count supervisor activity.
+        """
+        with self._stats_lock:
+            batches = self._batches
+            return {
+                "requests": self._requests,
+                "responses": self._responses,
+                "batches": batches,
+                "errors": self._errors,
+                "cancelled": self._cancelled,
+                "shed": self._shed,
+                "expired": self._expired,
+                "crashes": self._crashes,
+                "respawns": self._respawns,
+                "workers": len(self._workers),
+                "mean_batch_size": (
+                    self._batched_rows / batches if batches else 0.0
+                ),
+            }
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"MPInferenceServer({state}, workers={self.worker_count}, "
+            f"endpoints={self.registry.endpoints()}, "
+            f"queue_depth={self.queue_depth})"
+        )

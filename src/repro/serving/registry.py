@@ -33,6 +33,34 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._endpoints: dict[str, tuple[object, int]] = {}
         self._lock = threading.RLock()
+        self._subscribers: list = []
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(name, network, generation)`` on every publish.
+
+        Fires after each :meth:`register` and :meth:`swap` (and therefore
+        after :meth:`load_endpoint` / :meth:`swap_from_store`), outside
+        the registry lock, on the publishing thread. This is how a
+        secondary serving plane — e.g. the multi-process server's
+        shared-memory images — tracks weight pushes made directly on the
+        registry without polling generations.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a :meth:`subscribe` callback (missing ones are ignored)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify(self, name: str, network, generation: int) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(name, network, generation)
 
     @staticmethod
     def _prepare(network, compile: bool):
@@ -77,6 +105,7 @@ class ModelRegistry:
                     "to replace it atomically"
                 )
             self._endpoints[name] = (net, 0)
+        self._notify(name, net, 0)
         return net
 
     def swap(self, name: str, network, *, compile: bool = True):
@@ -95,6 +124,7 @@ class ModelRegistry:
             old = self._endpoints.get(name)
             generation = old[1] + 1 if old is not None else 0
             self._endpoints[name] = (net, generation)
+        self._notify(name, net, generation)
         return old[0] if old is not None else None
 
     def load_endpoint(self, name: str, path, *, mmap: bool = True):

@@ -28,12 +28,13 @@ caller scatters the first ``rows`` output rows back to the requests.
 from __future__ import annotations
 
 import queue
+import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, QueueFullError, ShapeError
 
 
 @dataclass(frozen=True)
@@ -74,17 +75,69 @@ class MicroBatcher:
     (the serving runtime enqueues ``(request, future)`` pairs).
     """
 
-    def __init__(self, policy: BatchPolicy | None = None):
+    def __init__(self, policy: BatchPolicy | None = None, *,
+                 max_pending: int | None = None,
+                 expired=None, on_expired=None):
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if (expired is None) != (on_expired is None):
+            raise ConfigurationError(
+                "expired and on_expired must be given together: the "
+                "predicate decides, the sink receives the dropped item"
+            )
         self.policy = policy if policy is not None else BatchPolicy()
+        self.max_pending = max_pending
+        self._expired = expired
+        self._on_expired = on_expired
         self._queue: queue.Queue = queue.Queue()
+        # Admission counter, kept separately from Queue.qsize(): put/get
+        # adjust it under one lock so the bound cannot be oversubscribed
+        # by two racing producers, and force-puts (shutdown sentinels)
+        # bypass it entirely.
+        self._pending_lock = threading.Lock()
+        self._pending = 0
 
-    def put(self, item) -> None:
-        """Enqueue one item (never blocks)."""
+    def put(self, item, *, force: bool = False) -> None:
+        """Enqueue one item; never blocks.
+
+        With ``max_pending`` set, a full queue raises
+        :class:`~repro.errors.QueueFullError` *immediately* — the
+        admission-control fast path: overload is reported to the caller
+        synchronously instead of growing an unbounded backlog.
+        ``force=True`` bypasses the bound (shutdown wake sentinels must
+        always land).
+        """
+        if not force:
+            with self._pending_lock:
+                if (self.max_pending is not None
+                        and self._pending >= self.max_pending):
+                    raise QueueFullError(
+                        f"scheduler queue is full ({self.max_pending} "
+                        "pending items); shedding instead of queueing"
+                    )
+                self._pending += 1
         self._queue.put(item)
 
     def pending(self) -> int:
-        """Approximate number of queued items (for stats/draining)."""
+        """Number of queued items awaiting a batch (for stats/draining)."""
         return self._queue.qsize()
+
+    def _take(self, item) -> bool:
+        """Account for a dequeued item; route expired ones to the sink.
+
+        Returns True when the item belongs in the batch, False when the
+        expiry predicate claimed it (the sink — typically "fail the
+        future with DeadlineExceededError" — has already consumed it).
+        """
+        with self._pending_lock:
+            if self._pending > 0:
+                self._pending -= 1
+        if self._expired is not None and self._expired(item):
+            self._on_expired(item)
+            return False
+        return True
 
     def next_batch(self, timeout: float | None = None) -> list | None:
         """Block up to ``timeout`` seconds for a batch; ``None`` if idle.
@@ -93,16 +146,22 @@ class MicroBatcher:
         ``max_batch`` items or after ``max_wait_ms``, whichever first.
         Items that are already queued when the deadline passes are still
         drained into the closing batch (they cost nothing to include).
+        Entries whose per-request deadline has already passed (the
+        ``expired`` predicate) never join a batch: they are handed to the
+        ``on_expired`` sink as they are dequeued, so a hopeless request
+        costs no forward pass — the returned batch may then be empty.
         """
         try:
             first = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
-        batch = [first]
+        batch = [first] if self._take(first) else []
         deadline = time.monotonic() + self.policy.max_wait_ms / 1000.0
         while len(batch) < self.policy.max_batch:
             try:
-                batch.append(self._queue.get_nowait())
+                item = self._queue.get_nowait()
+                if self._take(item):
+                    batch.append(item)
                 continue
             except queue.Empty:
                 pass
@@ -110,7 +169,9 @@ class MicroBatcher:
             if remaining <= 0:
                 break
             try:
-                batch.append(self._queue.get(timeout=remaining))
+                item = self._queue.get(timeout=remaining)
+                if self._take(item):
+                    batch.append(item)
             except queue.Empty:
                 break
         return batch

@@ -44,6 +44,28 @@ from repro.serving.scheduler import (
 _WAKE = object()
 
 
+def resolve_many(futures, timeout: float | None = None) -> list:
+    """Resolve a burst of response futures under **one shared deadline**.
+
+    ``timeout`` bounds the wait for the *whole burst*, not each future:
+    one monotonic deadline is computed up front and every ``result()``
+    call gets only the time remaining, so a stalled burst fails after
+    ``timeout`` seconds total — not ``N x timeout``, which is what naive
+    per-future ``result(timeout)`` loops degrade to when the first
+    futures are the slow ones. Shared by ``InferenceServer.infer_many``
+    and ``MPInferenceServer.infer_many``.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    responses = []
+    for future in futures:
+        remaining = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
+        responses.append(future.result(remaining))
+    return responses
+
+
 @dataclass(frozen=True)
 class InferenceRequest:
     """One sample submitted to the server (the batch axis is added by
@@ -53,6 +75,10 @@ class InferenceRequest:
     endpoint: str
     x: np.ndarray
     enqueued_at: float  # time.monotonic()
+    #: Absolute time.monotonic() deadline, or None for no deadline. The
+    #: multi-process server propagates it to workers; the scheduler drops
+    #: already-expired entries at batch formation.
+    deadline: float | None = None
 
 
 @dataclass(frozen=True)
@@ -228,11 +254,20 @@ class InferenceServer:
         """Synchronous single-sample convenience: submit and wait."""
         return self.submit(x, endpoint).result(timeout).y
 
+    def submit_many(self, samples,
+                    endpoint: str = DEFAULT_ENDPOINT) -> list[Future]:
+        """Enqueue a burst of samples; returns their futures in order."""
+        return [self.submit(x, endpoint) for x in samples]
+
     def infer_many(self, samples, endpoint: str = DEFAULT_ENDPOINT,
                    timeout: float | None = None) -> list[np.ndarray]:
-        """Submit a burst of samples, return their outputs in order."""
-        futures = [self.submit(x, endpoint) for x in samples]
-        return [f.result(timeout).y for f in futures]
+        """Submit a burst of samples, return their outputs in order.
+
+        ``timeout`` bounds the whole burst (one shared deadline via
+        :func:`resolve_many`), not each result individually.
+        """
+        futures = self.submit_many(samples, endpoint)
+        return [r.y for r in resolve_many(futures, timeout)]
 
     # -- internals -----------------------------------------------------------
     def _lane(self, endpoint: str) -> _Lane:

@@ -24,7 +24,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError, StoreError
+from repro.circulant.spectral_cache import natural_view, spectrum_layout
+from repro.errors import ConfigurationError, ShapeError, StoreError
 from repro.store.chunks import (
     DEFAULT_CHUNK_BYTES,
     read_chunked_array,
@@ -43,30 +44,24 @@ from repro.store.manifest import (
 
 
 def _spectrum_layout(spectrum: np.ndarray) -> tuple[str, np.ndarray]:
-    """``(layout, frequency-major buffer)`` for a natural-view spectrum.
+    """:func:`repro.circulant.spectral_cache.spectrum_layout`, as a StoreError.
 
-    The cache stores FC spectra as ``(p, q, f)`` views over
-    ``(f, p, q)``-contiguous memory and CONV spectra as ``(r², p, q, f)``
-    views over ``(f, p, r², q)``-contiguous memory, so these transposes
-    reproduce the contiguous buffer without copying.
+    The layout algebra lives with the cache (the multi-process server's
+    shared-memory images serialise the same buffers); the store wraps it
+    so an unsupported spectrum still surfaces as a store failure.
     """
-    if spectrum.ndim == 3:
-        return "fc", spectrum.transpose(2, 0, 1)
-    if spectrum.ndim == 4:
-        return "conv", spectrum.transpose(3, 1, 0, 2)
-    raise StoreError(
-        f"unsupported spectrum rank {spectrum.ndim}; expected the FC (3-d) "
-        "or CONV (4-d) frequency-major layout"
-    )
+    try:
+        return spectrum_layout(spectrum)
+    except ShapeError as exc:
+        raise StoreError(str(exc)) from exc
 
 
 def _natural_view(buffer: np.ndarray, layout: str) -> np.ndarray:
     """Invert :func:`_spectrum_layout`: stored buffer → natural view."""
-    if layout == "fc":
-        return buffer.transpose(1, 2, 0)
-    if layout == "conv":
-        return buffer.transpose(2, 1, 3, 0)
-    raise StoreError(f"unknown spectrum layout {layout!r} in manifest")
+    try:
+        return natural_view(buffer, layout)
+    except ShapeError as exc:
+        raise StoreError(f"{exc} in manifest") from exc
 
 
 def _json_signature(signature: dict) -> dict:

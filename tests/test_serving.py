@@ -12,8 +12,11 @@ import weakref
 import numpy as np
 import pytest
 
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
 from repro.circulant import SpectralWeightCache
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, QueueFullError, ShapeError
 from repro.nn import (
     SGD,
     BlockCirculantConv2D,
@@ -33,6 +36,7 @@ from repro.serving import (
     ModelRegistry,
     assemble_batch,
     check_sample_shape,
+    resolve_many,
 )
 
 
@@ -658,3 +662,207 @@ class TestServingSignature:
         np.testing.assert_allclose(
             y, net.inference_forward(x[None])[0], atol=1e-10
         )
+
+
+class TestMicroBatcherEdgeCases:
+    """The scheduler corners the multi-process server leans on."""
+
+    def test_max_batch_one_serves_every_item_alone(self):
+        batcher = MicroBatcher(BatchPolicy(max_batch=1, max_wait_ms=100.0))
+        for i in range(4):
+            batcher.put(i)
+        # Each batch closes immediately at one item; no window wait even
+        # though more items are queued.
+        for i in range(4):
+            start = time.monotonic()
+            assert batcher.next_batch(timeout=1.0) == [i]
+            assert time.monotonic() - start < 0.5
+
+    def test_zero_wait_still_drains_already_queued_items(self):
+        # max_wait_ms=0 means "never wait for company" — but items that
+        # are already queued when the window opens cost nothing and are
+        # still drained into the closing batch.
+        batcher = MicroBatcher(BatchPolicy(max_batch=8, max_wait_ms=0.0))
+        for i in range(5):
+            batcher.put(i)
+        assert batcher.next_batch(timeout=1.0) == [0, 1, 2, 3, 4]
+        # An empty queue with zero wait returns None after the timeout,
+        # not a busy loop.
+        assert batcher.next_batch(timeout=0.01) is None
+
+    def test_drain_on_stop_with_queued_items(self):
+        # The server's shutdown drain: requests enqueued before the wake
+        # sentinel are all batched out before the lane exits.
+        batcher = MicroBatcher(BatchPolicy(max_batch=2, max_wait_ms=0.0))
+        wake = object()
+        for i in range(5):
+            batcher.put(i)
+        batcher.put(wake, force=True)
+        drained = []
+        while batcher.pending() > 0:
+            batch = batcher.next_batch(timeout=0.5)
+            drained.extend(x for x in batch if x is not wake)
+        assert drained == [0, 1, 2, 3, 4]
+
+    def test_expired_entry_never_joins_a_batch(self):
+        # A deadline that has already passed at dequeue time goes to the
+        # sink, not into the batch — the batch may then be empty.
+        dropped = []
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait_ms=0.0),
+            expired=lambda item: item[1] <= time.monotonic(),
+            on_expired=dropped.append,
+        )
+        batcher.put(("dead", time.monotonic() - 1.0))
+        assert batcher.next_batch(timeout=0.5) == []
+        assert len(dropped) == 1 and dropped[0][0] == "dead"
+        live = ("live", time.monotonic() + 60.0)
+        batcher.put(live)
+        assert batcher.next_batch(timeout=0.5) == [live]
+
+    def test_expired_mid_window_filtered_per_item(self):
+        dropped = []
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait_ms=50.0),
+            expired=lambda item: item[0] == "dead",
+            on_expired=dropped.append,
+        )
+        for tag in ("live", "dead", "live", "dead"):
+            batcher.put((tag, None))
+        assert batcher.next_batch(timeout=0.5) == [
+            ("live", None), ("live", None)
+        ]
+        assert dropped == [("dead", None), ("dead", None)]
+
+    def test_expiry_predicate_requires_sink(self):
+        with pytest.raises(ConfigurationError, match="together"):
+            MicroBatcher(expired=lambda item: False)
+        with pytest.raises(ConfigurationError, match="together"):
+            MicroBatcher(on_expired=lambda item: None)
+
+
+class TestMicroBatcherAdmission:
+    def test_bounded_queue_sheds_synchronously(self):
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait_ms=0.0), max_pending=2
+        )
+        batcher.put("a")
+        batcher.put("b")
+        start = time.monotonic()
+        with pytest.raises(QueueFullError):
+            batcher.put("c")
+        # Fast reject: overload is reported synchronously, never by
+        # blocking the producer.
+        assert time.monotonic() - start < 0.1
+
+    def test_force_put_bypasses_the_bound(self):
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait_ms=0.0), max_pending=1
+        )
+        batcher.put("a")
+        batcher.put("wake", force=True)  # shutdown sentinels always land
+        assert batcher.next_batch(timeout=0.5) == ["a", "wake"]
+
+    def test_dequeue_frees_admission_slots(self):
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=1, max_wait_ms=0.0), max_pending=1
+        )
+        batcher.put("a")
+        assert batcher.next_batch(timeout=0.5) == ["a"]
+        batcher.put("b")  # slot was released by the dequeue
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            MicroBatcher(max_pending=0)
+
+
+class TestResolveManySharedDeadline:
+    """Regression: infer_many's timeout bounds the burst, not each future."""
+
+    def test_timeout_is_shared_not_per_future(self):
+        # Five futures that never resolve: a per-future timeout loop
+        # would wait 5 x 0.2 s; the shared deadline fails after ~0.2 s.
+        futures = [Future() for _ in range(5)]
+        start = time.monotonic()
+        with pytest.raises(FuturesTimeoutError):
+            resolve_many(futures, timeout=0.2)
+        elapsed = time.monotonic() - start
+        assert elapsed < 0.6, (
+            f"resolve_many took {elapsed:.2f}s for a 0.2s budget: the "
+            "timeout is being applied per future, not per burst"
+        )
+
+    def test_later_futures_get_remaining_time_only(self):
+        # First future resolves late-but-in-time; the second must only be
+        # granted what is left of the shared budget.
+        first, second = Future(), Future()
+
+        def resolve_first_late():
+            time.sleep(0.15)
+            first.set_result("ok")
+
+        threading.Thread(target=resolve_first_late).start()
+        start = time.monotonic()
+        with pytest.raises(FuturesTimeoutError):
+            resolve_many([first, second], timeout=0.3)
+        assert time.monotonic() - start < 0.9
+
+    def test_no_timeout_waits_indefinitely(self):
+        f = Future()
+        threading.Thread(
+            target=lambda: (time.sleep(0.05), f.set_result(1))
+        ).start()
+        assert resolve_many([f]) == [1]
+
+    def test_infer_many_results_in_order(self, rng):
+        net = _fc_net().compile_inference()
+        xs = rng.normal(size=(6, 32))
+        expected = net.inference_forward(xs)
+        with InferenceServer(net, max_batch=4, max_wait_ms=1.0) as server:
+            ys = server.infer_many(list(xs), timeout=30.0)
+        np.testing.assert_allclose(np.stack(ys), expected, atol=1e-10)
+
+    def test_submit_many_returns_futures_in_order(self, rng):
+        net = _fc_net().compile_inference()
+        xs = rng.normal(size=(4, 32))
+        with InferenceServer(net, max_batch=4, max_wait_ms=1.0) as server:
+            futures = server.submit_many(list(xs))
+            ids = [f.result(30.0).request_id for f in futures]
+        assert ids == sorted(ids)
+
+
+class TestRegistrySubscription:
+    """The publish hook the multi-process server's image plane rides on."""
+
+    def test_register_and_swap_notify(self):
+        registry = ModelRegistry()
+        events = []
+        registry.subscribe(
+            lambda name, net, gen: events.append((name, gen))
+        )
+        registry.register("a", _fc_net())
+        registry.swap("a", _fc_net(seed=3))
+        assert events == [("a", 0), ("a", 1)]
+
+    def test_unsubscribe_stops_notifications(self):
+        registry = ModelRegistry()
+        events = []
+        callback = lambda name, net, gen: events.append(gen)  # noqa: E731
+        registry.subscribe(callback)
+        registry.register("a", _fc_net())
+        registry.unsubscribe(callback)
+        registry.swap("a", _fc_net(seed=3))
+        assert events == [0]
+        registry.unsubscribe(callback)  # unknown callback is a no-op
+
+    def test_callback_sees_final_registry_state(self):
+        registry = ModelRegistry()
+        seen = []
+        registry.subscribe(
+            lambda name, net, gen: seen.append(
+                registry.generation(name) == gen
+            )
+        )
+        registry.register("a", _fc_net())
+        registry.swap("a", _fc_net(seed=3))
+        assert seen == [True, True]

@@ -1,0 +1,216 @@
+"""Multi-process serving tests (repro.serving.multiproc).
+
+Everything here spawns real worker processes, so the module is marked
+``mp`` and excluded from tier-1 (see ``pytest.ini``); CI runs it as a
+dedicated job with a hard timeout and faulthandler enabled. Fault
+injection (crashes, shedding, deadlines) lives in
+``tests/test_serving_faults.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import BlockCirculantDense, ReLU, Sequential
+from repro.serving import MPInferenceServer, ModelRegistry
+from repro.store import save_artifact
+
+pytestmark = pytest.mark.mp
+
+
+def _fc_net(seed: int = 0) -> Sequential:
+    net = Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1),
+    )
+    net.compile_inference()
+    return net
+
+
+class TestMPInferenceServer:
+    def test_outputs_bit_identical_to_direct_forward(self, rng):
+        # max_batch=1 keeps every served forward a single-row GEMM, the
+        # exact computation of the direct single-row reference (larger
+        # batches are correct too, but BLAS column blocking makes them
+        # only allclose, not bitwise — see the batched test below).
+        net = _fc_net()
+        xs = rng.normal(size=(6, 32))
+        expected = [net.inference_forward(x[None])[0] for x in xs]
+        with MPInferenceServer(net, workers=2, max_batch=1,
+                               max_wait_ms=0.0) as server:
+            ys = server.infer_many(list(xs), timeout=60.0)
+        for y, want in zip(ys, expected):
+            np.testing.assert_array_equal(y, want)
+
+    def test_batched_outputs_match_direct_forward(self, rng):
+        net = _fc_net()
+        xs = rng.normal(size=(16, 32))
+        expected = net.inference_forward(xs)
+        with MPInferenceServer(net, workers=2, max_batch=8,
+                               max_wait_ms=5.0) as server:
+            ys = server.infer_many(list(xs), timeout=60.0)
+            stats = server.stats()
+        np.testing.assert_allclose(np.stack(ys), expected, atol=1e-10)
+        assert stats["responses"] == 16
+        assert stats["mean_batch_size"] > 1.0  # batching actually engaged
+
+    def test_multiple_endpoints(self, rng):
+        registry = ModelRegistry()
+        net_a, net_b = _fc_net(0), _fc_net(9)
+        registry.register("a", net_a)
+        registry.register("b", net_b)
+        x = rng.normal(size=32)
+        with MPInferenceServer(registry, workers=2, max_batch=1,
+                               max_wait_ms=0.0) as server:
+            ya = server.infer(x, endpoint="a", timeout=60.0)
+            yb = server.infer(x, endpoint="b", timeout=60.0)
+        np.testing.assert_array_equal(
+            ya, net_a.inference_forward(x[None])[0]
+        )
+        np.testing.assert_array_equal(
+            yb, net_b.inference_forward(x[None])[0]
+        )
+        assert not np.array_equal(ya, yb)
+
+    def test_response_telemetry(self, rng):
+        net = _fc_net()
+        x = rng.normal(size=32)
+        with MPInferenceServer(net, workers=1, max_batch=1,
+                               max_wait_ms=0.0) as server:
+            response = server.submit(x).result(60.0)
+        assert response.endpoint == "default"
+        assert response.generation == 0
+        assert response.batch_size == 1
+        assert response.latency_ms >= response.queued_ms >= 0.0
+
+    def test_submit_requires_running_server(self, rng):
+        server = MPInferenceServer(_fc_net(), workers=1)
+        with pytest.raises(ConfigurationError, match="not running"):
+            server.submit(rng.normal(size=32))
+
+    def test_restart_after_stop(self, rng):
+        net = _fc_net()
+        x = rng.normal(size=32)
+        expected = net.inference_forward(x[None])[0]
+        server = MPInferenceServer(net, workers=1, max_batch=1,
+                                   max_wait_ms=0.0)
+        for _ in range(2):
+            with server:
+                np.testing.assert_array_equal(
+                    server.infer(x, timeout=60.0), expected
+                )
+
+    def test_endpoint_registered_after_start_is_served(self, rng):
+        registry = ModelRegistry()
+        net_a = _fc_net(0)
+        registry.register("a", net_a)
+        x = rng.normal(size=32)
+        with MPInferenceServer(registry, workers=1, max_batch=1,
+                               max_wait_ms=0.0) as server:
+            net_b = _fc_net(9)
+            registry.register("b", net_b)
+            yb = server.infer(x, endpoint="b", timeout=60.0)
+        np.testing.assert_array_equal(
+            yb, net_b.inference_forward(x[None])[0]
+        )
+
+
+class TestMPHotSwap:
+    """Cross-process swap atomicity: old-or-new, never mixed."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_concurrent_swaps_never_mix_generations(
+        self, tmp_path, workers
+    ):
+        # N client threads hammer the server while the endpoint flips
+        # between two known-different artifacts. Every response must be
+        # bit-identical to the output of the generation it claims
+        # (max_batch=1 makes the comparison exact: single-row forwards).
+        # Even generations are net_a (gen 0 is the initial registration,
+        # and the swap sequence alternates b, a, b, ...).
+        net_a, net_b = _fc_net(0), _fc_net(7)
+        x = np.random.default_rng(1).normal(size=32)
+        ya = net_a.inference_forward(x[None])[0]
+        yb = net_b.inference_forward(x[None])[0]
+        assert not np.array_equal(ya, yb)
+        path_a, path_b = tmp_path / "a", tmp_path / "b"
+        save_artifact(net_a, path_a, codec="identity")
+        save_artifact(net_b, path_b, codec="identity")
+
+        server = MPInferenceServer(net_a, workers=workers, max_batch=1,
+                                   max_wait_ms=0.0)
+        with server:
+            # Warm every worker before the clock starts: a freshly spawned
+            # child spends a while importing, and dispatch is round-robin,
+            # so one sequential infer per worker guarantees they are all
+            # serving. Without this, on a slow box the hammer threads'
+            # first (gen-0) requests outlive the whole swap sequence.
+            for _ in range(workers):
+                np.testing.assert_array_equal(
+                    server.infer(x, timeout=120.0), ya
+                )
+            stop = threading.Event()
+            mixed: list[tuple[int, float]] = []
+            generations: set[int] = set()
+
+            def hammer():
+                while not stop.is_set():
+                    response = server.submit(x).result(60.0)
+                    generations.add(response.generation)
+                    want = ya if response.generation % 2 == 0 else yb
+                    if not np.array_equal(response.y, want):
+                        mixed.append((
+                            response.generation,
+                            float(np.max(np.abs(response.y - want))),
+                        ))
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for path in (path_b, path_a, path_b, path_a):
+                time.sleep(0.15)
+                server.swap_from_store("default", path)
+            time.sleep(0.15)
+            stop.set()
+            for thread in threads:
+                thread.join()
+            stats = server.stats()
+
+        assert not mixed, (
+            f"responses not bit-identical to their generation: "
+            f"{mixed[:5]} ({len(mixed)} total)"
+        )
+        assert stats["errors"] == 0
+        assert len(generations) >= 2, (
+            "the hammer threads never observed a swap; the test lost its "
+            f"subject (generations seen: {sorted(generations)})"
+        )
+
+    def test_swap_from_store_bumps_generation_and_serves_new(
+        self, tmp_path, rng
+    ):
+        net_a, net_b = _fc_net(0), _fc_net(7)
+        x = rng.normal(size=32)
+        path_b = tmp_path / "b"
+        save_artifact(net_b, path_b, codec="identity")
+        with MPInferenceServer(net_a, workers=2, max_batch=1,
+                               max_wait_ms=0.0) as server:
+            first = server.submit(x).result(60.0)
+            server.swap_from_store("default", path_b)
+            second = server.submit(x).result(60.0)
+        assert first.generation == 0
+        assert second.generation == 1
+        np.testing.assert_array_equal(
+            first.y, net_a.inference_forward(x[None])[0]
+        )
+        np.testing.assert_array_equal(
+            second.y, net_b.inference_forward(x[None])[0]
+        )

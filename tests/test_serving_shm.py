@@ -1,0 +1,195 @@
+"""Tests for shared-memory endpoint images (repro.serving.shm).
+
+These run entirely in-process (attaching a segment published by the same
+process is valid shared memory use), so they stay in tier-1: the
+multi-process servers built on top are exercised in ``tests/test_serving_mp.py``
+under the ``mp`` marker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fftcore.backend import CountingFFTBackend
+from repro.nn import (
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.quant import quantized_view
+from repro.serving import attach_image, publish_image
+from repro.serving.shm import _ALIGN
+
+
+def _fc_net(seed: int = 0) -> Sequential:
+    return Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1),
+    )
+
+
+def _conv_net(seed: int = 0) -> Sequential:
+    return Sequential(
+        BlockCirculantConv2D(4, 8, 3, block_size=4, padding=1, seed=seed),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        BlockCirculantDense(8 * 3 * 3, 10, 2, seed=seed + 1),
+    )
+
+
+class TestPublishAttachRoundTrip:
+    def test_fc_bit_identical(self, rng):
+        net = _fc_net().compile_inference()
+        x = rng.normal(size=(5, 32))
+        expected = net.inference_forward(x)
+        image = publish_image("default", net, 0)
+        try:
+            attached = attach_image(image.descriptor)
+            np.testing.assert_array_equal(
+                attached.network.inference_forward(x), expected
+            )
+            attached.close()
+        finally:
+            image.close_and_unlink()
+
+    def test_conv_bit_identical(self, rng):
+        net = _conv_net().compile_inference()
+        x = rng.normal(size=(3, 4, 6, 6))
+        expected = net.inference_forward(x)
+        image = publish_image("conv", net, 2)
+        try:
+            attached = attach_image(image.descriptor)
+            assert attached.endpoint == "conv"
+            assert attached.generation == 2
+            np.testing.assert_array_equal(
+                attached.network.inference_forward(x), expected
+            )
+            attached.close()
+        finally:
+            image.close_and_unlink()
+
+    def test_attach_runs_zero_ffts(self, rng):
+        # The whole point of sharing the spectra: a worker cold start is
+        # page-table setup, not transforms.
+        net = _conv_net().compile_inference()
+        image = publish_image("default", net, 0)
+        try:
+            counting = CountingFFTBackend("numpy")
+            attached = attach_image(image.descriptor, backend=counting)
+            assert counting.total() == 0
+            x = rng.normal(size=(2, 4, 6, 6))
+            np.testing.assert_array_equal(
+                attached.network.inference_forward(x),
+                net.inference_forward(x),
+            )
+            # Forward spent transforms on activations only — weights were
+            # already spectral. Same count again on a warm second pass.
+            first = counting.total()
+            assert first > 0
+            counting.reset()
+            attached.network.inference_forward(x)
+            assert counting.total() == first
+            attached.close()
+        finally:
+            image.close_and_unlink()
+
+    def test_attached_state_is_frozen_and_eval(self):
+        net = _fc_net().compile_inference()
+        image = publish_image("default", net, 0)
+        try:
+            attached = attach_image(image.descriptor)
+            assert all(
+                p.frozen for p in attached.network.parameters()
+            )
+            assert not attached.network.training
+            attached.close()
+        finally:
+            image.close_and_unlink()
+
+    def test_quantized_view_round_trips(self, rng):
+        qnet = quantized_view(
+            _fc_net().compile_inference(), weight_bits=8, activation_bits=8
+        )
+        qnet.compile_inference()
+        x = rng.normal(size=(4, 32))
+        expected = qnet.inference_forward(x)
+        image = publish_image("quant", qnet, 0)
+        try:
+            assert image.descriptor["quantization"] == {
+                "weight_bits": 8, "activation_bits": 8,
+            }
+            attached = attach_image(image.descriptor)
+            assert attached.network.weight_quant_bits == 8
+            np.testing.assert_array_equal(
+                attached.network.inference_forward(x), expected
+            )
+            attached.close()
+        finally:
+            image.close_and_unlink()
+
+    def test_descriptor_is_plain_data_and_aligned(self):
+        # The descriptor crosses the process boundary: plain picklable
+        # types only, and every array offset keeps the GEMM operands
+        # cache-line aligned.
+        import pickle
+
+        net = _conv_net().compile_inference()
+        image = publish_image("default", net, 0)
+        try:
+            descriptor = pickle.loads(pickle.dumps(image.descriptor))
+            assert descriptor["segment"] == image.descriptor["segment"]
+            for record in descriptor["parameters"] + descriptor["spectra"]:
+                assert record["offset"] % _ALIGN == 0
+            assert descriptor["nbytes"] == image.nbytes > 0
+        finally:
+            image.close_and_unlink()
+
+
+class TestImageValidation:
+    def test_publish_requires_compiled_network(self):
+        with pytest.raises(ConfigurationError):
+            publish_image("default", _fc_net(), 0)
+
+    def test_attach_rejects_mismatched_parameters(self):
+        net = _fc_net().compile_inference()
+        image = publish_image("default", net, 0)
+        try:
+            descriptor = dict(image.descriptor)
+            descriptor["parameters"] = descriptor["parameters"][:-1]
+            with pytest.raises(ConfigurationError, match="missing"):
+                attach_image(descriptor)
+        finally:
+            image.close_and_unlink()
+
+    def test_attach_rejects_unknown_spectrum_parameter(self):
+        net = _fc_net().compile_inference()
+        image = publish_image("default", net, 0)
+        try:
+            descriptor = dict(image.descriptor)
+            bad = dict(descriptor["spectra"][0], param="no.such.param")
+            descriptor["spectra"] = [bad] + descriptor["spectra"][1:]
+            with pytest.raises(ConfigurationError, match="unknown parameter"):
+                attach_image(descriptor)
+        finally:
+            image.close_and_unlink()
+
+    def test_attach_after_unlink_raises_file_not_found(self):
+        net = _fc_net().compile_inference()
+        image = publish_image("default", net, 0)
+        descriptor = image.descriptor
+        image.close_and_unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_image(descriptor)
+
+    def test_close_and_unlink_is_idempotent(self):
+        net = _fc_net().compile_inference()
+        image = publish_image("default", net, 0)
+        image.close_and_unlink()
+        image.close_and_unlink()  # second unlink: name already gone
