@@ -79,6 +79,44 @@ class WorkerCrashedError(ServingError):
     """
 
 
+class WorkerWedgedError(WorkerCrashedError):
+    """The wedge watchdog killed a worker stuck inside a batch.
+
+    A *wedged* worker — parked in a forward that never returns — is
+    worse than a crashed one: it holds its in-flight requests hostage
+    until their deadlines burn. The watchdog (``wedge_timeout_s``)
+    SIGKILLs any worker whose running batch exceeds the bound and fails
+    its in-flight batches with this error. Subclasses
+    :class:`WorkerCrashedError` because recovery is identical (the
+    worker is lost and respawned; inference is idempotent, so a
+    :class:`~repro.serving.resilience.RetryPolicy` may resubmit), while
+    the type records that the loss was a deliberate watchdog kill.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """Admission rejected a request because the endpoint's circuit is open.
+
+    Same contract as :class:`QueueFullError`: raised synchronously at
+    ``submit()`` time, never after queueing. A
+    :class:`~repro.serving.resilience.CircuitBreaker` opens when the
+    endpoint's rolling-window error/expiry rate crosses its threshold,
+    sheds traffic for a cooldown, then lets half-open probe requests
+    through to decide whether to close again.
+    """
+
+
+class ServerClosedError(ServingError, ConfigurationError):
+    """The serving runtime is stopped (or stopping) and cannot accept work.
+
+    Raised by ``submit()`` on a server that is not running, and by
+    retries that land after ``stop()`` began. Subclasses both
+    :class:`ServingError` (it is a request outcome the serving layer
+    produced) and :class:`ConfigurationError` (historically this path
+    raised ``ConfigurationError``; existing handlers keep working).
+    """
+
+
 class StoreError(ReproError, ValueError):
     """A model-artifact store operation failed (see :mod:`repro.store`).
 

@@ -28,10 +28,27 @@ Three pieces, documented end to end in ``docs/serving_runtime.md``:
   processes, overload is shed (:class:`~repro.errors.QueueFullError`,
   per-request deadlines), and crashed workers are respawned from the
   shared images (:class:`~repro.errors.WorkerCrashedError`).
+- :mod:`repro.serving.resilience` — the fault-tolerance policies layered
+  on top: :class:`~repro.serving.resilience.RetryPolicy`
+  (deadline-aware transparent retries of crashed/wedged batches),
+  :class:`~repro.serving.resilience.CircuitBreaker` /
+  :class:`~repro.serving.resilience.BreakerPolicy` (per-endpoint
+  fast-reject when an endpoint is persistently failing), and
+  :class:`~repro.serving.resilience.DegradationController` /
+  :class:`~repro.serving.resilience.DegradationPolicy` (brownout: step
+  down a pre-compiled quantised ladder under pressure, recover with
+  hysteresis).
 """
 
 from repro.serving.multiproc import BatchGate, MPInferenceServer
 from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    DegradationController,
+    DegradationPolicy,
+    RetryPolicy,
+)
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatcher,
@@ -63,6 +80,11 @@ __all__ = [
     "InferenceServer",
     "MPInferenceServer",
     "BatchGate",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "DegradationController",
     "resolve_many",
     "AttachedEndpoint",
     "SharedEndpointImage",

@@ -28,15 +28,39 @@ which is N copies of every model and N redundant compile passes:
   in-flight batches fast with :class:`~repro.errors.WorkerCrashedError`
   and is respawned from the shared images — a cold respawn re-attaches,
   it never recompiles.
+- Wedged workers are detected, not just dead ones: with
+  ``wedge_timeout_s`` set, workers heartbeat the *start* of every batch
+  over the result pipe, and the collector SIGKILLs any worker whose
+  batch has been running past the timeout — its batches fail with
+  :class:`~repro.errors.WorkerWedgedError` and the ordinary crash
+  supervision respawns it. A stuck forward (runaway kernel, deadlocked
+  extension) therefore costs one worker for ``wedge_timeout_s``, not the
+  server forever.
+- Failures can be made invisible: an optional
+  :class:`~repro.serving.resilience.RetryPolicy` transparently
+  resubmits batches orphaned by a crash or wedge (jittered backoff,
+  never past a request's deadline), and an optional per-endpoint
+  :class:`~repro.serving.resilience.CircuitBreaker` converts a
+  persistently failing endpoint into
+  :class:`~repro.errors.CircuitOpenError` fast-rejects at admission —
+  the same synchronous contract as ``QueueFullError``.
 
 Wire protocol (one dedicated pipe pair per worker, so a SIGKILL mid-
 operation can never poison a lock shared with its siblings)::
 
     parent -> worker : ("publish", descriptor)
                        ("retire", endpoint, below_generation)
-                       ("task", batch_id, endpoint, generation, x, deadline)
+                       ("task", batch_id, endpoint, generation, x,
+                               deadline, descriptor)
                        ("stop",)
-    worker -> parent : ("done", batch_id, y)
+
+Task sends happen outside the server lock (batch payloads can exceed
+the pipe buffer; a blocking send under the lock would deadlock the
+collector) and every task carries its image descriptor, so the
+``publish``/``retire`` broadcasts are best-effort: a worker that missed
+one attaches from the task itself.
+    worker -> parent : ("begin", batch_id)        # wedge-watchdog heartbeat
+                       ("done", batch_id, y)
                        ("expired", batch_id)
                        ("error", batch_id, exception)
 
@@ -47,6 +71,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import select
 import threading
 import time
 from concurrent.futures import Future
@@ -58,9 +83,16 @@ from repro.errors import (
     ConfigurationError,
     DeadlineExceededError,
     QueueFullError,
+    ServerClosedError,
     WorkerCrashedError,
+    WorkerWedgedError,
 )
 from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatcher,
@@ -77,6 +109,20 @@ from repro.serving.shm import attach_image, publish_image
 
 #: How long stop() waits for a worker to exit before terminating it.
 _JOIN_TIMEOUT_S = 5.0
+
+
+def _writable(conn) -> bool:
+    """True when a small send on ``conn`` will not block.
+
+    POSIX reports a pipe writable only while at least ``PIPE_BUF`` bytes
+    fit, and broadcast messages are far smaller than that, so a positive
+    answer means the send completes without blocking.
+    """
+    try:
+        _, ready, _ = select.select([], [conn], [], 0)
+    except (OSError, ValueError):
+        return False
+    return bool(ready)
 
 
 class BatchGate:
@@ -124,6 +170,24 @@ class BatchGate:
             self._armed.value = 0
         self._release.value = 1
 
+    def reset(self) -> None:
+        """Re-arm-able park-forever mode: make the *next* park hold again.
+
+        ``open()`` leaves the release flag raised, so without a reset the
+        gate is single-use — a later :meth:`arm` would park only
+        momentarily. ``reset()`` lowers the flag (and clears
+        :attr:`entered`) so the gate can wedge workers repeatedly: the
+        chaos soak's injected wedges are ``reset(); arm(); …`` cycles,
+        and a wedge test that never calls ``open()`` at all parks its
+        worker *forever* — exactly the stuck-forward failure mode the
+        watchdog exists to kill. Only call while no worker is parked
+        (after ``open()``, or after the watchdog killed the parked
+        worker).
+        """
+        self._release.value = 0
+        self.entered.clear()
+        self.pid.value = 0
+
     def hold_if_armed(self) -> None:
         """Worker side: park if armed; no-op (no IPC) otherwise."""
         with self._armed.get_lock():
@@ -136,13 +200,19 @@ class BatchGate:
             time.sleep(0.001)
 
 
-def _worker_main(task_conn, result_conn, descriptors, gate) -> None:
+def _worker_main(task_conn, result_conn, descriptors, gate,
+                 heartbeat) -> None:
     """Worker process body: attach shared images, serve tasks until stop.
 
     ``descriptors`` seeds the initial images (a respawned worker gets the
-    current image set the same way); later generations arrive as
-    ``publish`` messages. Strictly sequential message processing is what
-    the swap protocol's FIFO argument rests on.
+    current image set the same way). Later generations arrive as
+    best-effort ``publish`` messages, but every task also carries its own
+    image descriptor, so a worker that missed (or has not yet received) a
+    publish simply attaches on first use — no ordering between publishes
+    and tasks is load-bearing. With ``heartbeat`` on
+    (the parent runs a wedge watchdog), every task is acknowledged with
+    a ``("begin", batch_id)`` message *before* the forward starts — the
+    parent times the gap between that heartbeat and the reply.
     """
     images: dict[str, dict[int, object]] = {}
 
@@ -177,14 +247,27 @@ def _worker_main(task_conn, result_conn, descriptors, gate) -> None:
             for generation in [g for g in generations if g < below]:
                 generations.pop(generation).close()
             continue
-        # ("task", batch_id, endpoint, generation, x, deadline)
-        _, batch_id, endpoint, generation, x, deadline = message
+        # ("task", batch_id, endpoint, generation, x, deadline, descriptor)
+        _, batch_id, endpoint, generation, x, deadline, descriptor = message
         try:
+            if heartbeat:
+                # Sent before the fault-injection gate on purpose: a
+                # gate-parked worker is the deterministic stand-in for a
+                # wedged forward, and the watchdog must see its batch as
+                # started to time it out.
+                result_conn.send(("begin", batch_id))
             if gate is not None:
                 gate.hold_if_armed()
             if deadline is not None and time.monotonic() > deadline:
                 result_conn.send(("expired", batch_id))
                 continue
+            if generation not in images.get(endpoint, {}):
+                # The publish broadcast for this generation was dropped
+                # (or is still in the pipe behind us): attach from the
+                # descriptor the task itself carries. The parent keeps an
+                # image linked while any batch of its generation is in
+                # flight, so this attach cannot race the unlink.
+                publish(descriptor)
             attached = images[endpoint][generation]
             y = np.asarray(attached.network.inference_forward(x))
             result_conn.send(("done", batch_id, y))
@@ -214,6 +297,20 @@ class _Worker:
         # that hits a broken pipe clears it first, and that must not
         # swallow the respawn.
         self.reaped = False
+        # Batches dispatched to this worker and not yet settled (under
+        # the server lock) — the least-loaded dispatch signal.
+        self.load = 0
+        # Set by the watchdog just before it SIGKILLs a wedged worker, so
+        # the reap can tell "killed for wedging" from an ordinary crash
+        # and raise WorkerWedgedError instead of WorkerCrashedError.
+        self.wedged = False
+        # Serialises writes to task_conn. Task sends happen *outside* the
+        # server lock — a batch payload can exceed the pipe buffer, and a
+        # blocking send under the lock would deadlock against the
+        # collector (which needs the lock to drain the result pipe the
+        # worker is waiting on). Dispatchers block on this mutex;
+        # broadcasts only try-acquire it (their messages are droppable).
+        self.send_mutex = threading.Lock()
 
     def close_pipes(self) -> None:
         for conn in (self.task_conn, self.result_conn):
@@ -227,10 +324,10 @@ class _Inflight:
     """One dispatched batch awaiting its worker's reply."""
 
     __slots__ = ("endpoint", "generation", "items", "rows", "padded",
-                 "closed", "worker_index")
+                 "closed", "worker_index", "attempt", "began_at")
 
     def __init__(self, endpoint, generation, items, rows, padded, closed,
-                 worker_index):
+                 worker_index, attempt=1):
         self.endpoint = endpoint
         self.generation = generation
         self.items = items          # [(request, future), ...] — claimed
@@ -238,6 +335,8 @@ class _Inflight:
         self.padded = padded        # zero rows appended by assemble_batch
         self.closed = closed        # lane batch-close instant
         self.worker_index = worker_index
+        self.attempt = attempt      # 1 = first dispatch; bumped per retry
+        self.began_at = None        # worker "begin" heartbeat instant
 
 
 class _Lane:
@@ -278,6 +377,26 @@ class MPInferenceServer:
         only one that is safe regardless of the parent's thread activity.
     batch_gate:
         Optional :class:`BatchGate` for fault-injection tests.
+    wedge_timeout_s:
+        Arm the wedge watchdog: workers heartbeat each batch start, and
+        any worker whose batch runs longer than this is SIGKILLed by the
+        collector — its in-flight batches fail fast with
+        :class:`~repro.errors.WorkerWedgedError` and it is respawned
+        from the shared images. ``None`` (default) disables the
+        watchdog and the heartbeats.
+    retry:
+        Optional :class:`~repro.serving.resilience.RetryPolicy`:
+        batches failed by a worker crash or wedge are transparently
+        redispatched (jittered exponential backoff) as long as another
+        attempt can still start before each request's deadline. With
+        retries on, a crash or wedge under deadline slack is invisible
+        to clients.
+    breaker:
+        Optional :class:`~repro.serving.resilience.BreakerPolicy`: each
+        endpoint gets a circuit breaker fed by its request outcomes.
+        While the circuit is open, :meth:`submit` raises
+        :class:`~repro.errors.CircuitOpenError` synchronously — same
+        admission contract as ``QueueFullError``.
     """
 
     def __init__(self, model, *, workers: int = 2, max_batch: int = 16,
@@ -285,12 +404,19 @@ class MPInferenceServer:
                  pad_to_multiple: int | None = None,
                  queue_depth: int | None = None,
                  start_method: str = "spawn",
-                 batch_gate: BatchGate | None = None):
+                 batch_gate: BatchGate | None = None,
+                 wedge_timeout_s: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: BreakerPolicy | None = None):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if queue_depth is not None and queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {queue_depth}"
+            )
+        if wedge_timeout_s is not None and wedge_timeout_s <= 0:
+            raise ConfigurationError(
+                f"wedge_timeout_s must be > 0, got {wedge_timeout_s}"
             )
         if isinstance(model, ModelRegistry):
             self.registry = model
@@ -304,6 +430,11 @@ class MPInferenceServer:
         self.worker_count = workers
         self.queue_depth = queue_depth
         self.batch_gate = batch_gate
+        self.wedge_timeout_s = wedge_timeout_s
+        self.retry = retry
+        self._retry_rng = retry.rng() if retry is not None else None
+        self._breaker_policy = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
         import multiprocessing
 
         self._context = multiprocessing.get_context(start_method)
@@ -338,18 +469,30 @@ class MPInferenceServer:
         self._next_worker = 0
         self._ids = itertools.count()
         self._batch_ids = itertools.count()
+        # Pending retry timers (timer -> (endpoint, items, exc)), plus a
+        # count of retries mid-redispatch, both folded into stop()'s
+        # drain condition so shutdown cannot slip between a timer firing
+        # and its batch landing in _inflight.
+        self._retry_timers: dict = {}
+        self._retry_active = 0
         self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._responses = 0
-        self._batches = 0
-        self._batched_rows = 0
-        self._padded_rows = 0
-        self._errors = 0
-        self._cancelled = 0
-        self._shed = 0
-        self._expired = 0
+        self._endpoint_stats: dict[str, dict[str, int]] = {}
         self._crashes = 0
+        self._wedged = 0
         self._respawns = 0
+
+    #: Per-endpoint counter names; stats() sums them for the flat view.
+    _STAT_KEYS = ("requests", "responses", "batches", "batched_rows",
+                  "padded_rows", "errors", "cancelled", "shed", "expired",
+                  "rejected", "retries")
+
+    def _bump(self, endpoint: str, **deltas) -> None:
+        with self._stats_lock:
+            counts = self._endpoint_stats.setdefault(
+                endpoint, dict.fromkeys(self._STAT_KEYS, 0)
+            )
+            for key, delta in deltas.items():
+                counts[key] += delta
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -411,11 +554,26 @@ class MPInferenceServer:
             for lane in lanes:
                 lane.thread.join()
             with self._inflight_cv:
+                # Pending retry timers and mid-redispatch retries count as
+                # in-flight work: a retry that was promised must either
+                # land or fail, never be dropped by shutdown.
                 drained = self._inflight_cv.wait_for(
-                    lambda: not self._inflight, timeout=drain_timeout_s
+                    lambda: (not self._inflight
+                             and not self._retry_timers
+                             and self._retry_active == 0),
+                    timeout=drain_timeout_s,
                 )
                 self._closing = True
+                pending_retries = list(self._retry_timers.items())
+                self._retry_timers.clear()
                 workers = list(self._workers)
+            # Retries still pending past the drain window fail fast with
+            # the fault that triggered them (the timer's own firing would
+            # do the same now that _closing is set; claiming them here
+            # just resolves the futures without waiting for the timers).
+            for timer, (endpoint, items, exc) in pending_retries:
+                timer.cancel()
+                self._fail(endpoint, items, exc)
             if not drained:
                 # _closing is already set, so the collector fails the
                 # orphaned batches without respawning replacements.
@@ -430,7 +588,8 @@ class MPInferenceServer:
             for worker in workers:
                 if worker.alive:
                     try:
-                        worker.task_conn.send(("stop",))
+                        with worker.send_mutex:
+                            worker.task_conn.send(("stop",))
                     except (OSError, ValueError):
                         pass
             for worker in workers:
@@ -474,9 +633,11 @@ class MPInferenceServer:
 
         Raises :class:`~repro.errors.QueueFullError` immediately when the
         endpoint's admission queue (``queue_depth``) is full — the shed
-        path — and :class:`~repro.errors.ShapeError` on a malformed
-        sample. ``deadline_ms`` sets a relative deadline; a request that
-        cannot be served in time fails with
+        path — :class:`~repro.errors.CircuitOpenError` while the
+        endpoint's circuit breaker (if configured) is open, and
+        :class:`~repro.errors.ShapeError` on a malformed sample.
+        ``deadline_ms`` sets a relative deadline; a request that cannot
+        be served in time fails with
         :class:`~repro.errors.DeadlineExceededError` instead of occupying
         a batch (the deadline travels to the worker with the task).
         """
@@ -490,17 +651,23 @@ class MPInferenceServer:
             enqueued_at=now, deadline=deadline,
         )
         future: Future = Future()
+        breaker = self.breaker(endpoint)
         with self._lock:
             if not self.running:
-                raise ConfigurationError(
+                raise ServerClosedError(
                     "MPInferenceServer is not running; call start() or use "
                     "it as a context manager"
                 )
+            if breaker is not None:
+                try:
+                    breaker.admit()
+                except Exception:
+                    self._bump(endpoint, rejected=1)
+                    raise
             if (self.queue_depth is not None
                     and self._outstanding.get(endpoint, 0)
                     >= self.queue_depth):
-                with self._stats_lock:
-                    self._shed += 1
+                self._bump(endpoint, shed=1)
                 raise QueueFullError(
                     f"endpoint {endpoint!r} already has "
                     f"{self.queue_depth} unresolved requests; shedding "
@@ -510,12 +677,32 @@ class MPInferenceServer:
                 self._outstanding.get(endpoint, 0) + 1
             )
             future.add_done_callback(
-                lambda _f, e=endpoint: self._release(e)
+                lambda f, e=endpoint, b=breaker: self._request_done(e, b, f)
             )
             self._lane(endpoint).batcher.put((request, future))
-        with self._stats_lock:
-            self._requests += 1
+        self._bump(endpoint, requests=1)
         return future
+
+    def breaker(self, endpoint: str) -> CircuitBreaker | None:
+        """The endpoint's circuit breaker; ``None`` when unconfigured."""
+        if self._breaker_policy is None:
+            return None
+        with self._lock:
+            cb = self._breakers.get(endpoint)
+            if cb is None:
+                cb = self._breakers[endpoint] = CircuitBreaker(
+                    self._breaker_policy
+                )
+            return cb
+
+    def _request_done(self, endpoint: str, breaker, future: Future) -> None:
+        # Every admitted request releases its admission slot and (when a
+        # breaker is configured) votes on the endpoint's health: any
+        # exception — worker fault, deadline miss — counts as a failure,
+        # so sustained expiry alone can open the circuit.
+        self._release(endpoint)
+        if breaker is not None and not future.cancelled():
+            breaker.record(future.exception() is None)
 
     def _release(self, endpoint: str) -> None:
         with self._lock:
@@ -588,17 +775,27 @@ class MPInferenceServer:
             self._maybe_unlink(endpoint)
 
     def _broadcast(self, message) -> None:
-        # Caller holds self._lock. A send failure here means the worker
-        # died; the collector will observe the sentinel, fail its batches
-        # and respawn it with the *current* images — which include this
-        # one — so a lost broadcast is self-healing.
+        # Caller holds self._lock, so this must NEVER block: a full task
+        # pipe (large batches queued) or a dispatcher mid-send would
+        # otherwise deadlock the collector. Both broadcast kinds are
+        # droppable — tasks carry their own image descriptor, so a missed
+        # "publish" just means the worker attaches on first use, and
+        # "retire" thresholds are cumulative, so the next one that lands
+        # closes everything an earlier dropped one would have. Skip any
+        # worker whose pipe is busy or not writable.
         for worker in self._workers:
             if not worker.alive:
                 continue
+            if not worker.send_mutex.acquire(blocking=False):
+                continue
             try:
+                if not _writable(worker.task_conn):
+                    continue
                 worker.task_conn.send(message)
             except (OSError, ValueError):
                 pass
+            finally:
+                worker.send_mutex.release()
 
     def _maybe_unlink(self, endpoint: str) -> None:
         # Caller holds self._lock. A superseded image can be unlinked once
@@ -648,8 +845,7 @@ class MPInferenceServer:
 
     def _expire_item(self, item) -> None:
         request, future = item
-        with self._stats_lock:
-            self._expired += 1
+        self._bump(request.endpoint, expired=1)
         if future.set_running_or_notify_cancel():
             future.set_exception(DeadlineExceededError(
                 f"request {request.request_id} missed its deadline before "
@@ -669,16 +865,21 @@ class MPInferenceServer:
                 continue
             self._dispatch(endpoint, items, closed)
 
-    def _dispatch(self, endpoint: str, items: list, closed: float) -> None:
+    def _dispatch(self, endpoint: str, items: list, closed: float,
+                  attempt: int = 1, claimed: bool = False) -> None:
         # Claim futures before any work, exactly like the thread server:
         # once RUNNING, a client cancel() can no longer race the scatter.
-        live = [
-            (request, future) for request, future in items
-            if future.set_running_or_notify_cancel()
-        ]
-        if len(live) < len(items):
-            with self._stats_lock:
-                self._cancelled += len(items) - len(live)
+        # Retry redispatches (claimed=True) skip this: their futures went
+        # RUNNING on the first attempt.
+        if claimed:
+            live = list(items)
+        else:
+            live = [
+                (request, future) for request, future in items
+                if future.set_running_or_notify_cancel()
+            ]
+            if len(live) < len(items):
+                self._bump(endpoint, cancelled=len(items) - len(live))
         if not live:
             return
         requests = [request for request, _ in live]
@@ -688,7 +889,7 @@ class MPInferenceServer:
                 self.policy.pad_to_multiple,
             )
         except BaseException as exc:
-            self._fail(live, exc)
+            self._fail(endpoint, live, exc)
             return
         # The batch deadline is the latest member deadline: members that
         # had already expired were dropped at batch formation, so if the
@@ -696,19 +897,18 @@ class MPInferenceServer:
         deadlines = [request.deadline for request in requests]
         deadline = None if any(d is None for d in deadlines) \
             else max(deadlines)
-        with self._lock:
-            generation = self._current.get(endpoint)
-            if generation is None:
-                self._fail(live, ConfigurationError(
-                    f"endpoint {endpoint!r} has no published image"
-                ))
-                return
-            batch_id = next(self._batch_ids)
-            sent = False
-            give_up = time.monotonic() + _JOIN_TIMEOUT_S
-            while not sent:
+        give_up = time.monotonic() + _JOIN_TIMEOUT_S
+        while True:
+            with self._lock:
+                generation = self._current.get(endpoint)
+                if generation is None:
+                    self._fail(endpoint, live, ConfigurationError(
+                        f"endpoint {endpoint!r} has no published image"
+                    ))
+                    return
+                descriptor = self._images[endpoint][generation].descriptor
                 worker = self._pick_worker()
-                if worker is None:
+                while worker is None:
                     # Every worker is dead. The supervisor respawns each
                     # crashed worker unless the server is closing, so wait
                     # (lock released) for the replacement rather than
@@ -716,46 +916,155 @@ class MPInferenceServer:
                     if self._closing or not self._workers_cv.wait(
                         timeout=max(0.0, give_up - time.monotonic())
                     ):
-                        self._fail(live, WorkerCrashedError(
+                        self._fail(endpoint, live, WorkerCrashedError(
                             "no live worker process to run the batch on"
                         ))
                         return
-                    continue
-                try:
-                    worker.task_conn.send(
-                        ("task", batch_id, endpoint, generation, x, deadline)
-                    )
-                    sent = True
-                except (OSError, ValueError):
-                    # The collector reaps marked workers explicitly; wake
-                    # it rather than relying on the sentinel, which it may
-                    # already have stopped watching.
+                    worker = self._pick_worker()
+                batch_id = next(self._batch_ids)
+                worker.load += 1
+                self._inflight[batch_id] = _Inflight(
+                    endpoint, generation, live, rows, x.shape[0] - rows,
+                    closed, worker.index, attempt,
+                )
+            # The send happens OUTSIDE the server lock: a batch payload
+            # can exceed the pipe buffer, and a blocking send under the
+            # lock deadlocks against the collector (which needs the lock
+            # to settle the reply the worker is trying to hand us).
+            # Registering in-flight state first is safe — the collector
+            # cannot see a reply for this batch before the send lands,
+            # and the registration pins the image against unlinking.
+            try:
+                with worker.send_mutex:
+                    worker.task_conn.send((
+                        "task", batch_id, endpoint, generation, x,
+                        deadline, descriptor,
+                    ))
+                return
+            except (OSError, ValueError):
+                # The collector reaps marked workers explicitly; wake it
+                # rather than relying on the sentinel, which it may
+                # already have stopped watching.
+                with self._lock:
                     worker.alive = False
-                    self._wake_collector()
-            self._inflight[batch_id] = _Inflight(
-                endpoint, generation, live, rows, x.shape[0] - rows,
-                closed, worker.index,
-            )
+                    reclaimed = self._inflight.pop(batch_id, None)
+                    if reclaimed is not None and worker.load > 0:
+                        worker.load -= 1
+                self._wake_collector()
+                if reclaimed is None:
+                    # The collector reaped the dead worker between our
+                    # send failing and the lock: it already failed or
+                    # retried these items. Nothing left to redispatch.
+                    return
 
     def _pick_worker(self):
-        # Caller holds self._lock: plain round-robin over live workers.
-        for _ in range(len(self._workers)):
-            worker = self._workers[self._next_worker % len(self._workers)]
-            self._next_worker += 1
-            if worker.alive:
+        # Caller holds self._lock: least-loaded live worker, with a
+        # rotating starting offset so equal-load ties still spread
+        # round-robin across the pool. "Load" is dispatched-but-unsettled
+        # batches, so a worker grinding through a slow batch (or quietly
+        # wedging) stops attracting new work while its siblings idle.
+        count = len(self._workers)
+        if count == 0:
+            return None
+        best = None
+        for offset in range(count):
+            worker = self._workers[(self._next_worker + offset) % count]
+            if worker.alive and (best is None or worker.load < best.load):
+                best = worker
+        self._next_worker += 1
+        return best
+
+    def _worker_in_slot(self, index: int):
+        # Caller holds self._lock.
+        for worker in self._workers:
+            if worker.index == index:
                 return worker
         return None
 
-    def _fail(self, items: list, exc: BaseException,
+    def _fail(self, endpoint: str, items: list, exc: BaseException,
               count_errors: bool = True) -> None:
         if count_errors:
-            with self._stats_lock:
-                self._errors += len(items)
+            self._bump(endpoint, errors=len(items))
         for _, future in items:
             try:
                 future.set_exception(exc)
             except Exception:
                 pass
+
+    # -- retries -------------------------------------------------------------
+    def _fail_or_retry(self, inflight: _Inflight, exc: BaseException) -> None:
+        """Fail an orphaned batch — or transparently redispatch it.
+
+        With a :class:`RetryPolicy` configured and the fault retryable
+        (a crash or wedge, not a deterministic error), every request
+        whose deadline still admits another attempt is rescheduled after
+        the policy's jittered backoff; the rest fail with the original
+        fault. Called by :meth:`_reap` on the collector thread.
+        """
+        policy = self.retry
+        items = inflight.items
+        if policy is None or not policy.retryable(exc):
+            self._fail(inflight.endpoint, items, exc)
+            return
+        now = time.monotonic()
+        attempt = inflight.attempt + 1
+        retry_items, fail_items, latest = [], [], None
+        with self._lock:
+            if self._closing or not self.running:
+                fail_items = items
+            else:
+                for request, future in items:
+                    at = policy.next_attempt_at(
+                        attempt, now, request.deadline, self._retry_rng
+                    )
+                    if at is None:
+                        fail_items.append((request, future))
+                    else:
+                        retry_items.append((request, future))
+                        latest = at if latest is None else max(latest, at)
+        if fail_items:
+            self._fail(inflight.endpoint, fail_items, exc)
+        if not retry_items:
+            return
+        self._bump(inflight.endpoint, retries=len(retry_items))
+        self._schedule_retry(
+            inflight.endpoint, retry_items, inflight.closed, attempt,
+            max(0.0, latest - now), exc,
+        )
+
+    def _schedule_retry(self, endpoint: str, items: list, closed: float,
+                        attempt: int, delay: float,
+                        exc: BaseException) -> None:
+        timer_box: list[threading.Timer] = []
+
+        def fire() -> None:
+            with self._inflight_cv:
+                claim = self._retry_timers.pop(timer_box[0], None)
+                if claim is None:
+                    return  # stop() claimed and failed these requests
+                aborted = self._closing or not self.running
+                if not aborted:
+                    self._retry_active += 1
+            if aborted:
+                # A retry landing after stop() began fails fast with the
+                # original fault instead of dispatching into a dying
+                # worker pool.
+                self._fail(endpoint, items, exc)
+                return
+            try:
+                self._dispatch(endpoint, items, closed, attempt=attempt,
+                               claimed=True)
+            finally:
+                with self._inflight_cv:
+                    self._retry_active -= 1
+                    self._inflight_cv.notify_all()
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        timer_box.append(timer)
+        with self._inflight_cv:
+            self._retry_timers[timer] = (endpoint, items, exc)
+        timer.start()
 
     # -- worker supervision --------------------------------------------------
     def _spawn(self, index: int) -> _Worker:
@@ -771,7 +1080,8 @@ class MPInferenceServer:
         ]
         process = self._context.Process(
             target=_worker_main,
-            args=(task_recv, result_send, descriptors, self.batch_gate),
+            args=(task_recv, result_send, descriptors, self.batch_gate,
+                  self.wedge_timeout_s is not None),
             name=f"repro-mp-worker-{index}",
             daemon=True,
         )
@@ -818,10 +1128,16 @@ class MPInferenceServer:
                 self._reap(worker)
             if closing and not by_conn:
                 return
+            self._check_wedged()
             waitables = (
                 list(by_conn) + list(by_sentinel) + [self._wake_r]
             )
-            ready = connection.wait(waitables, timeout=1.0)
+            # With the watchdog armed, wake often enough that a wedged
+            # worker is detected well within one wedge_timeout_s even if
+            # no pipe traffic arrives meanwhile.
+            wait_timeout = 1.0 if self.wedge_timeout_s is None \
+                else min(1.0, self.wedge_timeout_s / 4)
+            ready = connection.wait(waitables, timeout=wait_timeout)
             dead = []
             for obj in ready:
                 if obj is self._wake_r:
@@ -848,6 +1164,36 @@ class MPInferenceServer:
                 ):
                     return
 
+    def _check_wedged(self) -> None:
+        """Watchdog scan: SIGKILL any worker whose batch overran the timeout.
+
+        A batch counts as running from its ``("begin", ...)`` heartbeat.
+        The kill turns a wedge into an ordinary supervised death — the
+        sentinel fires, :meth:`_reap` fails (or retries) the batches with
+        :class:`~repro.errors.WorkerWedgedError` and respawns the worker
+        from the shared images.
+        """
+        timeout = self.wedge_timeout_s
+        if timeout is None:
+            return
+        now = time.monotonic()
+        victims = []
+        with self._lock:
+            for inflight in self._inflight.values():
+                if (inflight.began_at is None
+                        or now - inflight.began_at < timeout):
+                    continue
+                worker = self._worker_in_slot(inflight.worker_index)
+                if (worker is not None and worker.alive
+                        and not worker.wedged):
+                    # Marked before the kill so _reap can tell a wedge
+                    # from an ordinary crash (and so one scan cannot
+                    # queue duplicate kills).
+                    worker.wedged = True
+                    victims.append(worker)
+        for worker in victims:
+            worker.process.kill()
+
     def _drain_results(self, worker: _Worker) -> bool:
         """Deliver every queued reply from ``worker``; False on EOF."""
         while True:
@@ -861,17 +1207,27 @@ class MPInferenceServer:
 
     def _settle(self, message) -> None:
         kind, batch_id = message[0], message[1]
+        if kind == "begin":
+            # Wedge-watchdog heartbeat: the worker entered the forward.
+            with self._lock:
+                inflight = self._inflight.get(batch_id)
+                if inflight is not None:
+                    inflight.began_at = time.monotonic()
+            return
         with self._inflight_cv:
             inflight = self._inflight.pop(batch_id, None)
             if inflight is not None:
                 self._maybe_unlink(inflight.endpoint)
+                worker = self._worker_in_slot(inflight.worker_index)
+                if worker is not None and worker.load > 0:
+                    worker.load -= 1
             self._inflight_cv.notify_all()
         if inflight is None:
             return
         if kind == "done":
             y = message[2][:inflight.rows]
             if y.shape[0] != len(inflight.items):
-                self._fail(inflight.items, RuntimeError(
+                self._fail(inflight.endpoint, inflight.items, RuntimeError(
                     f"endpoint {inflight.endpoint!r} returned {y.shape[0]} "
                     f"output rows for a batch of {len(inflight.items)} "
                     "requests"
@@ -888,20 +1244,20 @@ class MPInferenceServer:
                     queued_ms=(inflight.closed - request.enqueued_at) * 1e3,
                     latency_ms=(done - request.enqueued_at) * 1e3,
                 ))
-            with self._stats_lock:
-                self._responses += inflight.rows
-                self._batches += 1
-                self._batched_rows += inflight.rows
-                self._padded_rows += inflight.padded
+            self._bump(
+                inflight.endpoint, responses=inflight.rows, batches=1,
+                batched_rows=inflight.rows, padded_rows=inflight.padded,
+            )
         elif kind == "expired":
-            with self._stats_lock:
-                self._expired += len(inflight.items)
+            self._bump(inflight.endpoint, expired=len(inflight.items))
             # Deadline drops are accounted under "expired", not "errors".
-            self._fail(inflight.items, DeadlineExceededError(
-                "the batch deadline passed before the worker could run it"
-            ), count_errors=False)
+            self._fail(inflight.endpoint, inflight.items,
+                       DeadlineExceededError(
+                           "the batch deadline passed before the worker "
+                           "could run it"
+                       ), count_errors=False)
         else:  # "error"
-            self._fail(inflight.items, message[2])
+            self._fail(inflight.endpoint, inflight.items, message[2])
 
     def _reap(self, worker: _Worker) -> None:
         """A worker died: fail its in-flight batches fast, then respawn."""
@@ -924,15 +1280,26 @@ class MPInferenceServer:
             closing = self._closing
         worker.process.join(timeout=_JOIN_TIMEOUT_S)
         exitcode = worker.process.exitcode
-        for _, inflight in orphaned:
-            self._fail(inflight.items, WorkerCrashedError(
+        if worker.wedged:
+            exc = WorkerWedgedError(
+                f"worker process {worker.index} exceeded wedge_timeout_s="
+                f"{self.wedge_timeout_s} inside a batch and was killed by "
+                "the watchdog"
+            )
+        else:
+            exc = WorkerCrashedError(
                 f"worker process {worker.index} died (exit code "
                 f"{exitcode}) with the batch in flight"
-            ))
+            )
+        for _, inflight in orphaned:
+            self._fail_or_retry(inflight, exc)
         if closing:
             return
         with self._stats_lock:
-            self._crashes += 1
+            if worker.wedged:
+                self._wedged += 1
+            else:
+                self._crashes += 1
         worker.close_pipes()
         with self._lock:
             if self._closing:
@@ -945,30 +1312,57 @@ class MPInferenceServer:
             self._respawns += 1
 
     # -- stats ---------------------------------------------------------------
-    def stats(self) -> dict[str, float]:
-        """Serving counters, including the overload and fault ones.
+    def stats(self, endpoint: str | None = None) -> dict[str, float]:
+        """Serving counters: flat totals, or one endpoint's breakdown.
 
-        ``shed`` counts :class:`~repro.errors.QueueFullError` fast
-        rejects, ``expired`` counts deadline drops (scheduler- and
-        worker-side), ``crashes``/``respawns`` count supervisor activity.
+        With ``endpoint`` given, returns that endpoint's counters
+        (``requests``/``responses``/``shed``/``expired``/``rejected``/
+        ``retries``/…) plus its ``mean_batch_size``. Without, returns
+        the familiar flat summary — every per-endpoint counter summed —
+        extended with the supervisor totals (``crashes``, ``wedged``,
+        ``respawns``, ``workers``) and a ``per_endpoint`` mapping of the
+        raw breakdowns. ``shed`` counts ``QueueFullError`` fast rejects,
+        ``rejected`` counts ``CircuitOpenError`` fast rejects,
+        ``expired`` counts deadline drops (scheduler- and worker-side),
+        ``retries`` counts transparently redispatched requests.
         """
         with self._stats_lock:
-            batches = self._batches
-            return {
-                "requests": self._requests,
-                "responses": self._responses,
-                "batches": batches,
-                "errors": self._errors,
-                "cancelled": self._cancelled,
-                "shed": self._shed,
-                "expired": self._expired,
-                "crashes": self._crashes,
-                "respawns": self._respawns,
-                "workers": len(self._workers),
-                "mean_batch_size": (
-                    self._batched_rows / batches if batches else 0.0
+            if endpoint is not None:
+                counts = dict(self._endpoint_stats.get(
+                    endpoint, dict.fromkeys(self._STAT_KEYS, 0)
+                ))
+                batches = counts["batches"]
+                counts["mean_batch_size"] = (
+                    counts["batched_rows"] / batches if batches else 0.0
+                )
+                return counts
+            totals = dict.fromkeys(self._STAT_KEYS, 0)
+            per_endpoint = {}
+            for name, counts in self._endpoint_stats.items():
+                per_endpoint[name] = dict(counts)
+                for key in self._STAT_KEYS:
+                    totals[key] += counts[key]
+            batches = totals["batches"]
+            batched_rows = totals.pop("batched_rows")
+            totals.pop("padded_rows")
+            totals.update(
+                crashes=self._crashes,
+                wedged=self._wedged,
+                respawns=self._respawns,
+                workers=len(self._workers),
+                mean_batch_size=(
+                    batched_rows / batches if batches else 0.0
                 ),
-            }
+                per_endpoint=per_endpoint,
+            )
+            return totals
+
+    def reset_stats(self) -> None:
+        """Zero every counter — per-endpoint breakdowns and supervisor
+        totals alike — e.g. between chaos-soak phases or bench rounds."""
+        with self._stats_lock:
+            self._endpoint_stats.clear()
+            self._crashes = self._wedged = self._respawns = 0
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"

@@ -15,9 +15,12 @@ generation be garbage-collected once the last batch drops it.
 
 from __future__ import annotations
 
+import logging
 import threading
 
 from repro.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_ENDPOINT = "default"
 
@@ -34,6 +37,10 @@ class ModelRegistry:
         self._endpoints: dict[str, tuple[object, int]] = {}
         self._lock = threading.RLock()
         self._subscribers: list = []
+        # Brownout ladders: endpoint -> ordered variant list (level 0 =
+        # full precision) and the level currently being served.
+        self._ladders: dict[str, list] = {}
+        self._ladder_levels: dict[str, int] = {}
 
     def subscribe(self, callback) -> None:
         """Call ``callback(name, network, generation)`` on every publish.
@@ -57,10 +64,23 @@ class ModelRegistry:
                 pass
 
     def _notify(self, name: str, network, generation: int) -> None:
+        # A subscriber that raises must not abort the publish: the swap
+        # has already landed (the registry dict moved before _notify), so
+        # propagating would misreport a successful swap as failed — and
+        # skipping the remaining subscribers would leave a secondary
+        # serving plane (e.g. the MP server's shm images) silently stale.
+        # Log and continue; every subscriber sees every publish.
         with self._lock:
             subscribers = list(self._subscribers)
         for callback in subscribers:
-            callback(name, network, generation)
+            try:
+                callback(name, network, generation)
+            except Exception:
+                logger.exception(
+                    "registry subscriber %r failed during publish of "
+                    "endpoint %r generation %d; continuing",
+                    callback, name, generation,
+                )
 
     @staticmethod
     def _prepare(network, compile: bool):
@@ -105,6 +125,7 @@ class ModelRegistry:
                     "to replace it atomically"
                 )
             self._endpoints[name] = (net, 0)
+            self._sync_ladder_level(name, net)
         self._notify(name, net, 0)
         return net
 
@@ -124,8 +145,24 @@ class ModelRegistry:
             old = self._endpoints.get(name)
             generation = old[1] + 1 if old is not None else 0
             self._endpoints[name] = (net, generation)
+            self._sync_ladder_level(name, net)
         self._notify(name, net, generation)
         return old[0] if old is not None else None
+
+    def _sync_ladder_level(self, name: str, net) -> None:
+        # Caller holds self._lock. Keep the ladder level honest across
+        # *any* swap: swapping in a ladder variant records its rung;
+        # swapping in a foreign network invalidates the ladder entirely
+        # (its variants degrade a model that is no longer being served).
+        ladder = self._ladders.get(name)
+        if ladder is None:
+            return
+        for level, variant in enumerate(ladder):
+            if variant is net:
+                self._ladder_levels[name] = level
+                return
+        del self._ladders[name]
+        del self._ladder_levels[name]
 
     def load_endpoint(self, name: str, path, *, mmap: bool = True):
         """Register a new endpoint straight from a stored artifact.
@@ -160,6 +197,105 @@ class ModelRegistry:
         old = self.swap(name, net, compile=False)
         return old
 
+    # -- brownout ladders ----------------------------------------------------
+    def set_ladder(self, name: str, variants, *, compile: bool = True):
+        """Register ``name``'s degradation ladder: ordered fallback variants.
+
+        ``variants[0]`` is the full-precision network (rung 0);
+        ``variants[1:]`` are progressively cheaper fallbacks — typically
+        lower-bit :func:`~repro.quant.quantized_view` twins or
+        coarser-block models, the accuracy/cost knob of CirCNN fig 7c.
+        Every variant is prepared for serving **now** (compiled unless
+        already frozen and warm, exactly like :meth:`register`), so a
+        later :meth:`serve_level` swap runs zero FFTs — the downshift
+        under pressure is a pure atomic pointer move (plus, on the
+        multi-process server, a memcpy into a fresh shared image).
+
+        If ``name`` is not yet registered, rung 0 is registered for it;
+        if it is, the current network must be one of ``variants`` (the
+        ladder must describe what is actually being served). Returns the
+        prepared variant list.
+        """
+        if len(variants) < 2:
+            raise ConfigurationError(
+                "a degradation ladder needs at least two variants (the "
+                f"full-precision rung plus one fallback), got "
+                f"{len(variants)}"
+            )
+        prepared = [self._prepare(net, compile) for net in variants]
+        with self._lock:
+            current = self._endpoints.get(name)
+            if current is None:
+                level = 0
+            else:
+                matches = [
+                    i for i, net in enumerate(prepared)
+                    if net is current[0]
+                ]
+                if not matches:
+                    raise ConfigurationError(
+                        f"endpoint {name!r} is serving a network that is "
+                        "not in the ladder; include the currently served "
+                        "network among the variants"
+                    )
+                level = matches[0]
+            self._ladders[name] = prepared
+            self._ladder_levels[name] = level
+        if current is None:
+            self.register(name, prepared[0], compile=False)
+        return prepared
+
+    def ladder(self, name: str) -> list:
+        """The endpoint's registered variant list (raises if none)."""
+        with self._lock:
+            try:
+                return list(self._ladders[name])
+            except KeyError:
+                raise ConfigurationError(
+                    f"endpoint {name!r} has no degradation ladder; call "
+                    "set_ladder() first"
+                ) from None
+
+    def ladder_level(self, name: str) -> int:
+        """The rung currently being served (0 = full precision)."""
+        with self._lock:
+            if name not in self._ladders:
+                raise ConfigurationError(
+                    f"endpoint {name!r} has no degradation ladder; call "
+                    "set_ladder() first"
+                )
+            return self._ladder_levels[name]
+
+    def serve_level(self, name: str, level: int):
+        """Atomically serve ladder rung ``level`` (idempotent per level).
+
+        The brownout step: swaps the pre-compiled variant in through
+        :meth:`swap` (``compile=False`` — the FFTs ran at
+        :meth:`set_ladder` time), bumping the generation so in-flight
+        batches stay old-or-new, never mixed. Returns the variant now
+        being served.
+        """
+        with self._lock:
+            ladder = self._ladders.get(name)
+            if ladder is None:
+                raise ConfigurationError(
+                    f"endpoint {name!r} has no degradation ladder; call "
+                    "set_ladder() first"
+                )
+            if not 0 <= level < len(ladder):
+                raise ConfigurationError(
+                    f"ladder level {level} out of range for endpoint "
+                    f"{name!r} (0..{len(ladder) - 1})"
+                )
+            if self._ladder_levels[name] == level:
+                return ladder[level]
+            variant = ladder[level]
+        # Swap outside this method's critical section work: swap() takes
+        # the same reentrant lock for its atomic dict move and records
+        # the new level via _sync_ladder_level.
+        self.swap(name, variant, compile=False)
+        return variant
+
     def snapshot(self, name: str):
         """``(network, generation)`` — the atomic unit a batch runs on."""
         with self._lock:
@@ -184,6 +320,8 @@ class ModelRegistry:
         with self._lock:
             net, _ = self.snapshot(name)
             del self._endpoints[name]
+            self._ladders.pop(name, None)
+            self._ladder_levels.pop(name, None)
         return net
 
     def endpoints(self) -> list[str]:

@@ -107,7 +107,11 @@ class MicroBatcher:
         admission-control fast path: overload is reported to the caller
         synchronously instead of growing an unbounded backlog.
         ``force=True`` bypasses the bound (shutdown wake sentinels must
-        always land).
+        always land). Forced items are excluded from the admission
+        count end to end: they neither consume a slot going in nor
+        release one coming out, so a shutdown sentinel passing through
+        can never leak admission capacity that queued requests still
+        occupy.
         """
         if not force:
             with self._pending_lock:
@@ -118,26 +122,37 @@ class MicroBatcher:
                         "pending items); shedding instead of queueing"
                     )
                 self._pending += 1
-        self._queue.put(item)
+        # Entries carry whether they hold an admission slot, so the
+        # dequeue side releases exactly the slots the enqueue side took.
+        self._queue.put((item, not force))
 
     def pending(self) -> int:
         """Number of queued items awaiting a batch (for stats/draining)."""
         return self._queue.qsize()
 
-    def _take(self, item) -> bool:
-        """Account for a dequeued item; route expired ones to the sink.
+    #: _take's "the expiry sink consumed this entry" result. A sentinel,
+    #: not None/False, because queued items are opaque and may be falsy.
+    _DROPPED = object()
 
-        Returns True when the item belongs in the batch, False when the
-        expiry predicate claimed it (the sink — typically "fail the
-        future with DeadlineExceededError" — has already consumed it).
+    def _take(self, entry):
+        """Account for a dequeued entry; route expired items to the sink.
+
+        Returns the item when it belongs in the batch, or ``_DROPPED``
+        when the expiry predicate claimed it (the sink — typically "fail
+        the future with DeadlineExceededError" — has already consumed
+        it). Only counted entries release an admission slot; expiry is
+        still checked for forced items, so a force-put request with a
+        lapsed deadline reaches the sink, not a batch.
         """
-        with self._pending_lock:
-            if self._pending > 0:
-                self._pending -= 1
+        item, counted = entry
+        if counted:
+            with self._pending_lock:
+                if self._pending > 0:
+                    self._pending -= 1
         if self._expired is not None and self._expired(item):
             self._on_expired(item)
-            return False
-        return True
+            return self._DROPPED
+        return item
 
     def next_batch(self, timeout: float | None = None) -> list | None:
         """Block up to ``timeout`` seconds for a batch; ``None`` if idle.
@@ -155,12 +170,15 @@ class MicroBatcher:
             first = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
-        batch = [first] if self._take(first) else []
+        batch = []
+        item = self._take(first)
+        if item is not self._DROPPED:
+            batch.append(item)
         deadline = time.monotonic() + self.policy.max_wait_ms / 1000.0
         while len(batch) < self.policy.max_batch:
             try:
-                item = self._queue.get_nowait()
-                if self._take(item):
+                item = self._take(self._queue.get_nowait())
+                if item is not self._DROPPED:
                     batch.append(item)
                 continue
             except queue.Empty:
@@ -169,8 +187,8 @@ class MicroBatcher:
             if remaining <= 0:
                 break
             try:
-                item = self._queue.get(timeout=remaining)
-                if self._take(item):
+                item = self._take(self._queue.get(timeout=remaining))
+                if item is not self._DROPPED:
                     batch.append(item)
             except queue.Empty:
                 break

@@ -31,8 +31,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServerClosedError
 from repro.serving.registry import DEFAULT_ENDPOINT, ModelRegistry
+from repro.serving.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatcher,
@@ -119,6 +124,20 @@ class InferenceServer:
         raise because compiled forwards are read-only over the cached
         spectra; NumPy releases the GIL inside the FFT/GEMM kernels, so
         extra workers overlap real work.
+    retry:
+        Optional :class:`~repro.serving.resilience.RetryPolicy`. A batch
+        whose forward raises one of the policy's ``retry_on`` types is
+        re-run after jittered backoff (inference is idempotent) instead
+        of failing its futures — up to ``max_attempts`` and never past a
+        request deadline. Retries run on the worker thread that owns the
+        batch, so ``stop()``'s drain naturally waits for them.
+    breaker:
+        Optional :class:`~repro.serving.resilience.BreakerPolicy`. Each
+        endpoint gets its own :class:`~repro.serving.resilience.CircuitBreaker`;
+        when an endpoint's rolling-window failure rate trips it,
+        ``submit`` fast-rejects with
+        :class:`~repro.errors.CircuitOpenError` until half-open probes
+        close the circuit again.
 
     Usage::
 
@@ -129,7 +148,9 @@ class InferenceServer:
 
     def __init__(self, model, *, max_batch: int = 16,
                  max_wait_ms: float = 2.0,
-                 pad_to_multiple: int | None = None, workers: int = 2):
+                 pad_to_multiple: int | None = None, workers: int = 2,
+                 retry: RetryPolicy | None = None,
+                 breaker: BreakerPolicy | None = None):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if isinstance(model, ModelRegistry):
@@ -142,6 +163,10 @@ class InferenceServer:
             pad_to_multiple=pad_to_multiple,
         )
         self.workers = workers
+        self.retry = retry
+        self._retry_rng = retry.rng() if retry is not None else None
+        self._breaker_policy = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._executor: ThreadPoolExecutor | None = None
         self._lanes: dict[str, _Lane] = {}
         # RLock: submit() holds it across the running check, lane lookup
@@ -163,6 +188,27 @@ class InferenceServer:
         self._padded_rows = 0
         self._errors = 0
         self._cancelled = 0
+        self._retries = 0
+
+    # -- resilience ----------------------------------------------------------
+    def breaker(self, endpoint: str = DEFAULT_ENDPOINT) -> CircuitBreaker | None:
+        """The endpoint's circuit breaker (``None`` when not configured)."""
+        if self._breaker_policy is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(endpoint)
+            if breaker is None:
+                breaker = CircuitBreaker(self._breaker_policy)
+                self._breakers[endpoint] = breaker
+            return breaker
+
+    @staticmethod
+    def _record_outcome(breaker: CircuitBreaker, future: Future) -> None:
+        # Done callback: feed the request outcome to the breaker. A
+        # client cancel is neither success nor failure — no sample.
+        if future.cancelled():
+            return
+        breaker.record(future.exception() is None)
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -224,23 +270,32 @@ class InferenceServer:
         ``x`` is a single sample (no batch axis) matching the endpoint's
         ``input_sample_shape``; shape problems raise here, at submit
         time, so a malformed request can never poison the micro-batch it
-        would have joined.
+        would have joined. With a breaker configured, an open circuit
+        fast-rejects here with :class:`~repro.errors.CircuitOpenError`
+        — synchronously, never after queueing.
         """
         net, _ = self.registry.snapshot(endpoint)
         x = np.asarray(x, dtype=np.float64)
         check_sample_shape(
             x.shape, getattr(net, "input_sample_shape", None)
         )
+        breaker = self.breaker(endpoint)
+        if breaker is not None:
+            breaker.admit()
         request = InferenceRequest(
             request_id=next(self._ids), endpoint=endpoint, x=x,
             enqueued_at=time.monotonic(),
         )
         future: Future = Future()
+        if breaker is not None:
+            future.add_done_callback(
+                lambda f, b=breaker: self._record_outcome(b, f)
+            )
         # Check-and-enqueue atomically w.r.t. stop(): once the item is in
         # a lane queue, stop() is guaranteed to drain it.
         with self._lock:
             if not self.running:
-                raise ConfigurationError(
+                raise ServerClosedError(
                     "InferenceServer is not running; call start() or use "
                     "it as a context manager"
                 )
@@ -331,28 +386,58 @@ class InferenceServer:
             return
         requests = [request for request, _ in live]
         futures = [future for _, future in live]
-        try:
-            # One snapshot per batch: the hot-swap atomicity contract.
-            net, generation = self.registry.snapshot(endpoint)
-            x, rows = assemble_batch(
-                [request.x for request in requests],
-                self.policy.pad_to_multiple,
-            )
-            y = np.asarray(net.inference_forward(x))[:rows]
-            if y.shape[0] != len(requests):
-                # A model that collapses the batch axis would otherwise
-                # leave the excess futures unresolved forever (zip stops
-                # at the shorter side); fail the whole batch loudly.
-                raise RuntimeError(
-                    f"endpoint {endpoint!r} returned {y.shape[0]} output "
-                    f"rows for a batch of {len(requests)} requests"
+        # The retry cutoff is the earliest member deadline: a policy must
+        # never schedule work past *any* member's deadline. (The thread
+        # server's submit() does not set deadlines today, so this is
+        # normally None; retries are then bounded by max_attempts alone.)
+        deadlines = [
+            request.deadline for request in requests
+            if request.deadline is not None
+        ]
+        deadline = min(deadlines) if deadlines else None
+        attempt = 1
+        while True:
+            try:
+                # One snapshot per batch (re-resolved per attempt, so a
+                # retry lands on the freshest generation): the hot-swap
+                # atomicity contract.
+                net, generation = self.registry.snapshot(endpoint)
+                x, rows = assemble_batch(
+                    [request.x for request in requests],
+                    self.policy.pad_to_multiple,
                 )
-        except BaseException as exc:
-            with self._stats_lock:
-                self._errors += len(futures)
-            for future in futures:
-                future.set_exception(exc)
-            return
+                y = np.asarray(net.inference_forward(x))[:rows]
+                if y.shape[0] != len(requests):
+                    # A model that collapses the batch axis would
+                    # otherwise leave the excess futures unresolved
+                    # forever (zip stops at the shorter side); fail the
+                    # whole batch loudly.
+                    raise RuntimeError(
+                        f"endpoint {endpoint!r} returned {y.shape[0]} "
+                        f"output rows for a batch of {len(requests)} "
+                        "requests"
+                    )
+                break
+            except BaseException as exc:
+                at = None
+                if self.retry is not None and self.retry.retryable(exc):
+                    at = self.retry.next_attempt_at(
+                        attempt + 1, time.monotonic(), deadline,
+                        self._retry_rng,
+                    )
+                if at is None:
+                    with self._stats_lock:
+                        self._errors += len(futures)
+                    for future in futures:
+                        future.set_exception(exc)
+                    return
+                # Back off on this worker thread: compiled inference is
+                # idempotent, so re-running the batch is safe, and
+                # stop()'s executor drain naturally waits out the retry.
+                time.sleep(max(0.0, at - time.monotonic()))
+                attempt += 1
+                with self._stats_lock:
+                    self._retries += 1
         done = time.monotonic()
         for row, (request, future) in zip(y, live):
             future.set_result(InferenceResponse(
@@ -382,6 +467,7 @@ class InferenceServer:
                 "batches": batches,
                 "errors": self._errors,
                 "cancelled": self._cancelled,
+                "retries": self._retries,
                 "padded_rows": self._padded_rows,
                 "mean_batch_size": (
                     self._batched_rows / batches if batches else 0.0

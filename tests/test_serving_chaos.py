@@ -1,0 +1,190 @@
+"""Seeded chaos soak: random kills, wedges and overload bursts.
+
+One bounded scenario (a few seconds of wall clock) drives the whole
+resilience stack at once: a seeded schedule alternates SIGKILLs of
+random workers, injected wedges (gate-parked batches the watchdog must
+kill), and overload bursts past the admission bound — while client
+threads keep submitting. The invariant under test is the tentpole
+promise: with retries on, *faults are invisible* — every admitted
+request resolves successfully; the only client-visible outcome besides
+success is the by-design :class:`~repro.errors.QueueFullError` shed at
+admission during the bursts.
+
+The final server stats are written to ``$CHAOS_STATS_JSON`` (CI uploads
+them as an artifact) so a soak run leaves an inspectable record of how
+much chaos it actually absorbed. Seed via ``$CHAOS_SEED``.
+
+Marked ``mp`` and ``slow``: tier-1 excludes it, the CI mp job runs it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueFullError, ServingError
+from repro.nn import BlockCirculantDense, ReLU, Sequential
+from repro.serving import BatchGate, MPInferenceServer, RetryPolicy
+
+pytestmark = [pytest.mark.mp, pytest.mark.slow]
+
+SOAK_S = 5.0
+WEDGE_TIMEOUT_S = 0.5
+
+
+def _fc_net(seed: int = 0) -> Sequential:
+    net = Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1),
+    )
+    net.compile_inference()
+    return net
+
+
+class TestChaosSoak:
+    def test_soak_with_retries_has_zero_client_visible_errors(
+        self, tmp_path
+    ):
+        import multiprocessing
+
+        seed = int(os.environ.get("CHAOS_SEED", "1234"))
+        rng = random.Random(seed)
+        net = _fc_net()
+        gate = BatchGate(multiprocessing.get_context("spawn"))
+        server = MPInferenceServer(
+            net, workers=2, max_batch=4, max_wait_ms=1.0, queue_depth=16,
+            batch_gate=gate, wedge_timeout_s=WEDGE_TIMEOUT_S,
+            retry=RetryPolicy(max_attempts=6, backoff_ms=10.0, jitter=0.5,
+                              seed=seed),
+        )
+        server.start()
+        x = np.random.default_rng(7).normal(size=32)
+        expected = net.inference_forward(x[None])[0]
+        server.infer(x, timeout=120.0)  # warm both spawn paths
+        server.infer(x, timeout=120.0)
+
+        outcomes = {"ok": 0, "shed": 0}
+        unexpected: list[BaseException] = []
+        burst_futures = []
+        lock = threading.Lock()
+        halt = threading.Event()
+
+        def client():
+            while not halt.is_set():
+                try:
+                    response = server.infer(x, timeout=60.0)
+                except QueueFullError:
+                    with lock:
+                        outcomes["shed"] += 1
+                    time.sleep(0.002)
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - tallied
+                    with lock:
+                        unexpected.append(exc)
+                    continue
+                if np.allclose(response, expected, rtol=1e-9, atol=1e-9):
+                    with lock:
+                        outcomes["ok"] += 1
+                else:
+                    with lock:
+                        unexpected.append(
+                            AssertionError("response diverged from model")
+                        )
+
+        def inject_kill():
+            with server._lock:
+                pids = [
+                    w.process.pid for w in server._workers if w.alive
+                ]
+            if pids:
+                os.kill(rng.choice(pids), signal.SIGKILL)
+
+        def inject_wedge():
+            gate.reset()
+            gate.arm()
+            # The watchdog kills the parked worker; entered.wait bounds
+            # the cycle so a quiet instant cannot stall the schedule.
+            gate.entered.wait(2.0)
+
+        def inject_burst():
+            futures = []
+            for _ in range(40):
+                try:
+                    futures.append(server.submit(x))
+                except QueueFullError:
+                    with lock:
+                        outcomes["shed"] += 1
+                except ServingError as exc:
+                    with lock:
+                        unexpected.append(exc)
+            with lock:
+                burst_futures.extend(futures)
+
+        events = {"kill": inject_kill, "wedge": inject_wedge,
+                  "burst": inject_burst}
+        injected = {name: 0 for name in events}
+
+        clients = [threading.Thread(target=client) for _ in range(3)]
+        for thread in clients:
+            thread.start()
+        soak_ends = time.monotonic() + SOAK_S
+        try:
+            while time.monotonic() < soak_ends:
+                name = rng.choice(sorted(events))
+                events[name]()
+                injected[name] += 1
+                time.sleep(0.7)
+        finally:
+            halt.set()
+            for thread in clients:
+                thread.join(timeout=120.0)
+            gate.open()
+        for thread in clients:
+            assert not thread.is_alive(), "client thread hung in the soak"
+        # Every admitted burst request resolves successfully too: a
+        # retryable fault mid-burst becomes latency, never an error.
+        for future in burst_futures:
+            try:
+                future.result(120.0)
+                with lock:
+                    outcomes["ok"] += 1
+            except BaseException as exc:  # noqa: BLE001 - tallied
+                unexpected.append(exc)
+        stats = server.stats()
+        server.stop(drain_timeout_s=30.0)
+
+        record = {
+            "seed": seed,
+            "soak_s": SOAK_S,
+            "injected": injected,
+            "outcomes": outcomes,
+            "unexpected_errors": [repr(e) for e in unexpected],
+            "server_stats": stats,
+        }
+        out_path = os.environ.get(
+            "CHAOS_STATS_JSON", str(tmp_path / "chaos_stats.json")
+        )
+        with open(out_path, "w") as fh:
+            json.dump(record, fh, indent=2, default=float)
+
+        assert unexpected == [], (
+            f"client-visible errors during the soak: {unexpected!r} "
+            f"(stats: {stats})"
+        )
+        assert outcomes["ok"] > 0
+        # The soak actually exercised the machinery it claims to cover.
+        assert sum(injected.values()) >= 3
+        assert stats["crashes"] + stats["wedged"] >= 1
+        assert stats["respawns"] >= 1
+        if injected["burst"]:
+            assert outcomes["shed"] > 0
+        if stats["crashes"] + stats["wedged"] > 0:
+            assert stats["retries"] >= 1

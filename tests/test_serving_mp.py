@@ -106,6 +106,29 @@ class TestMPInferenceServer:
                     server.infer(x, timeout=60.0), expected
                 )
 
+    def test_pipe_sized_payloads_under_concurrent_load(self, rng):
+        # Regression: requests and responses bigger than an OS pipe
+        # buffer (64 KiB on Linux) make every send a blocking call that
+        # only completes once the peer drains. An earlier dispatcher
+        # held the server lock across task_conn.send, so a worker
+        # blocked mid-way through a large result, the collector blocked
+        # on the lock to drain it, and the dispatcher blocked on the
+        # full task pipe — a three-way deadlock. Task sends now happen
+        # outside the lock; this load must finish, not wedge.
+        net = Sequential(BlockCirculantDense(8192, 8192, 512, seed=3))
+        net.compile_inference()
+        xs = rng.normal(size=(24, 8192))  # 64 KiB per row, each way
+        expected = net.inference_forward(xs[:1])[0]
+        with MPInferenceServer(net, workers=2, max_batch=1,
+                               max_wait_ms=0.0,
+                               queue_depth=64) as server:
+            futures = [server.submit(x) for x in xs]
+            ys = [f.result(120.0).y for f in futures]
+        np.testing.assert_array_equal(ys[0], expected)
+        assert len(ys) == 24
+        for y in ys:
+            assert y.shape == (8192,)
+
     def test_endpoint_registered_after_start_is_served(self, rng):
         registry = ModelRegistry()
         net_a = _fc_net(0)

@@ -1,0 +1,461 @@
+"""Multi-process resilience tests: watchdog, retries, brownout, races.
+
+Every scenario is deterministic via :class:`BatchGate` (a parked worker
+is the stand-in for a wedged forward) and seeded retry jitter. Marked
+``mp`` (spawns worker processes); tier-1 excludes it, CI runs it in the
+dedicated mp job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    QueueFullError,
+    ServerClosedError,
+    ServingError,
+    WorkerCrashedError,
+    WorkerWedgedError,
+)
+from repro.nn import BlockCirculantDense, ReLU, Sequential
+from repro.quant import quantized_view
+from repro.serving import (
+    BatchGate,
+    DegradationController,
+    DegradationPolicy,
+    ModelRegistry,
+    MPInferenceServer,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.mp
+
+WEDGE_TIMEOUT_S = 0.75
+
+
+def _fc_net(seed: int = 0) -> Sequential:
+    net = Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1),
+    )
+    net.compile_inference()
+    return net
+
+
+def _spawn_gate() -> BatchGate:
+    import multiprocessing
+
+    return BatchGate(multiprocessing.get_context("spawn"))
+
+
+@pytest.fixture
+def watchdog_server():
+    """One worker, armed-able gate, wedge watchdog on, no retries."""
+    net = _fc_net()
+    gate = _spawn_gate()
+    server = MPInferenceServer(
+        net, workers=1, max_batch=1, max_wait_ms=0.0, queue_depth=8,
+        batch_gate=gate, wedge_timeout_s=WEDGE_TIMEOUT_S,
+    )
+    server.start()
+    x = np.random.default_rng(7).normal(size=32)
+    expected = net.inference_forward(x[None])[0]
+    np.testing.assert_array_equal(server.infer(x, timeout=120.0), expected)
+    try:
+        yield server, gate, x, expected
+    finally:
+        gate.open()
+        server.stop(drain_timeout_s=30.0)
+
+
+@pytest.fixture
+def resilient_server():
+    """One worker, gate, watchdog *and* deadline-aware retries."""
+    net = _fc_net()
+    gate = _spawn_gate()
+    server = MPInferenceServer(
+        net, workers=1, max_batch=1, max_wait_ms=0.0, queue_depth=8,
+        batch_gate=gate, wedge_timeout_s=WEDGE_TIMEOUT_S,
+        retry=RetryPolicy(max_attempts=4, backoff_ms=5.0, jitter=0.25,
+                          seed=1234),
+    )
+    server.start()
+    x = np.random.default_rng(7).normal(size=32)
+    expected = net.inference_forward(x[None])[0]
+    np.testing.assert_array_equal(server.infer(x, timeout=120.0), expected)
+    try:
+        yield server, gate, x, expected
+    finally:
+        gate.open()
+        server.stop(drain_timeout_s=30.0)
+
+
+class TestWedgeWatchdog:
+    def test_wedged_worker_is_killed_and_batch_fails_with_wedged_error(
+        self, watchdog_server
+    ):
+        server, gate, x, expected = watchdog_server
+        # Park the worker inside the forward and never open the gate —
+        # the deterministic stand-in for a stuck kernel.
+        gate.reset()
+        gate.arm()
+        future = server.submit(x)
+        assert gate.entered.wait(30.0), "worker never entered the batch"
+        entered = time.monotonic()
+        wedged_pid = gate.pid.value
+        with pytest.raises(WorkerWedgedError, match="wedge_timeout_s"):
+            future.result(60.0)
+        elapsed = time.monotonic() - entered
+        # Not killed early: the watchdog waits out the full timeout
+        # (small margin for the heartbeat landing before the park)...
+        assert elapsed > WEDGE_TIMEOUT_S * 0.5
+        # ...and not late: detection is the timeout plus at most a few
+        # collector scan periods (wedge_timeout_s/4 each), not a hang.
+        assert elapsed < WEDGE_TIMEOUT_S + 10.0
+        # The wedged process really is gone (SIGKILL, not a warning).
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(wedged_pid, 0)
+                time.sleep(0.01)
+            except ProcessLookupError:
+                break
+        else:
+            pytest.fail("wedged worker process still alive after the kill")
+        # Respawned from the shared images: serves bit-identically.
+        np.testing.assert_array_equal(
+            server.infer(x, timeout=120.0), expected
+        )
+        stats = server.stats()
+        assert stats["wedged"] == 1
+        assert stats["crashes"] == 0
+        assert stats["respawns"] == 1
+
+    def test_wedge_with_retries_is_invisible_to_the_client(
+        self, resilient_server
+    ):
+        server, gate, x, expected = resilient_server
+        gate.reset()
+        gate.arm()
+        future = server.submit(x)
+        assert gate.entered.wait(30.0)
+        # Watchdog kills the parked worker; the retry lands on the
+        # respawned worker (the gate's armed budget was consumed by the
+        # first attempt) and the response is bit-identical — the client
+        # sees latency, not an error.
+        np.testing.assert_array_equal(future.result(60.0).y, expected)
+        stats = server.stats()
+        assert stats["wedged"] == 1
+        assert stats["retries"] >= 1
+        assert stats["errors"] == 0
+
+    def test_crash_with_retries_is_invisible_to_the_client(
+        self, resilient_server
+    ):
+        server, gate, x, expected = resilient_server
+        gate.reset()
+        gate.arm()
+        future = server.submit(x)
+        assert gate.entered.wait(30.0)
+        os.kill(gate.pid.value, signal.SIGKILL)
+        np.testing.assert_array_equal(future.result(60.0).y, expected)
+        stats = server.stats()
+        assert stats["crashes"] == 1
+        assert stats["retries"] >= 1
+        assert stats["errors"] == 0
+
+    def test_retry_respects_request_deadline(self, resilient_server):
+        # A request whose deadline cannot admit another attempt fails
+        # with the original wedge/crash error instead of a futile retry.
+        server, gate, x, expected = resilient_server
+        gate.reset()
+        gate.arm()
+        # Deadline far enough to survive batching but inside the wedge
+        # window: by the time the watchdog kills the worker the retry
+        # could not start before the deadline.
+        future = server.submit(x, deadline_ms=WEDGE_TIMEOUT_S * 500.0)
+        assert gate.entered.wait(30.0)
+        with pytest.raises(WorkerWedgedError):
+            future.result(60.0)
+        assert server.stats()["retries"] == 0
+
+
+class TestLeastLoadedDispatch:
+    def test_requests_route_around_a_busy_worker(self):
+        # With one of two workers parked inside a batch, least-loaded
+        # dispatch sends every following request to the idle sibling
+        # (load 0 beats the parked worker's load 1) — under round-robin,
+        # every other request would queue behind the parked worker and
+        # stall until the gate opens. Followers run one at a time so the
+        # load comparison at each dispatch is exact, not racing.
+        net = _fc_net()
+        gate = _spawn_gate()
+        server = MPInferenceServer(
+            net, workers=2, max_batch=1, max_wait_ms=0.0, queue_depth=16,
+            batch_gate=gate,
+        )
+        server.start()
+        x = np.random.default_rng(3).normal(size=32)
+        expected = net.inference_forward(x[None])[0]
+        try:
+            # Warm both workers (round-robin over equal loads).
+            server.infer_many([x, x], timeout=120.0)
+            gate.reset()
+            gate.arm()
+            parked = server.submit(x)
+            assert gate.entered.wait(30.0)
+            for _ in range(6):
+                np.testing.assert_array_equal(
+                    server.infer(x, timeout=30.0), expected
+                )
+            gate.open()
+            np.testing.assert_array_equal(
+                parked.result(30.0).y, expected
+            )
+        finally:
+            gate.open()
+            server.stop(drain_timeout_s=30.0)
+
+
+class TestPerEndpointStats:
+    def test_breakdown_reset_and_flat_totals(self):
+        registry = ModelRegistry()
+        net_a, net_b = _fc_net(seed=1), _fc_net(seed=5)
+        registry.register("a", net_a)
+        registry.register("b", net_b)
+        xa = np.random.default_rng(1).normal(size=32)
+        with MPInferenceServer(
+            registry, workers=1, max_batch=4, max_wait_ms=1.0,
+            queue_depth=64,
+        ) as server:
+            server.infer_many([xa] * 6, endpoint="a", timeout=120.0)
+            server.infer_many([xa] * 2, endpoint="b", timeout=120.0)
+            stats_a = server.stats("a")
+            stats_b = server.stats("b")
+            assert stats_a["requests"] == 6
+            assert stats_a["responses"] == 6
+            assert stats_b["requests"] == 2
+            assert stats_a["errors"] == stats_b["errors"] == 0
+            flat = server.stats()
+            assert flat["requests"] == 8
+            assert flat["responses"] == 8
+            assert flat["per_endpoint"]["a"]["responses"] == 6
+            assert flat["per_endpoint"]["b"]["responses"] == 2
+            # An endpoint that never saw traffic reads as zeros.
+            assert server.stats("ghost")["requests"] == 0
+            server.reset_stats()
+            assert server.stats()["requests"] == 0
+            assert server.stats("a")["responses"] == 0
+            # Counters keep working after the reset.
+            server.infer(xa, endpoint="a", timeout=120.0)
+            assert server.stats("a")["responses"] == 1
+
+
+class TestStopRaces:
+    def test_submit_concurrent_with_stop_raises_clean_serving_error(self):
+        # Hammer submit() from client threads while stop() runs. Every
+        # call must either resolve or raise a ServingError subclass —
+        # never BrokenPipeError, never a hang.
+        net = _fc_net()
+        server = MPInferenceServer(
+            net, workers=2, max_batch=4, max_wait_ms=0.5, queue_depth=32,
+        )
+        server.start()
+        x = np.random.default_rng(11).normal(size=32)
+        server.infer(x, timeout=120.0)  # warm
+        bad: list[BaseException] = []
+        done = threading.Event()
+        lock = threading.Lock()
+
+        def client():
+            while not done.is_set():
+                try:
+                    future = server.submit(x)
+                except ServingError:
+                    if not server.running:
+                        return
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        bad.append(exc)
+                    return
+                try:
+                    future.result(60.0)
+                except ServingError:
+                    pass
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        bad.append(exc)
+                    return
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        server.stop(drain_timeout_s=30.0)
+        done.set()
+        for t in threads:
+            t.join(timeout=60.0)
+            assert not t.is_alive(), "client thread hung across stop()"
+        assert bad == []
+        with pytest.raises(ServerClosedError):
+            server.submit(x)
+        with pytest.raises(ConfigurationError):  # back-compat contract
+            server.submit(x)
+
+    def test_retry_landing_after_stop_fails_fast(self):
+        # Kill the only worker so a retry is scheduled with a long
+        # backoff, then stop() with a short drain: the pending retry is
+        # claimed and failed fast with the original fault — the client
+        # never waits out the backoff, and stop() never hangs.
+        net = _fc_net()
+        gate = _spawn_gate()
+        server = MPInferenceServer(
+            net, workers=1, max_batch=1, max_wait_ms=0.0, queue_depth=8,
+            batch_gate=gate,
+            retry=RetryPolicy(max_attempts=3, backoff_ms=30_000.0,
+                              jitter=0.0, seed=0),
+        )
+        server.start()
+        x = np.random.default_rng(2).normal(size=32)
+        server.infer(x, timeout=120.0)  # warm
+        gate.reset()
+        gate.arm()
+        future = server.submit(x)
+        assert gate.entered.wait(30.0)
+        os.kill(gate.pid.value, signal.SIGKILL)
+        begin = time.monotonic()
+        server.stop(drain_timeout_s=1.0)
+        with pytest.raises(WorkerCrashedError):
+            future.result(10.0)
+        # Far faster than the 30s retry backoff.
+        assert time.monotonic() - begin < 20.0
+
+
+class TestBrownoutLadderMP:
+    def _ladder_registry(self):
+        full = _fc_net(seed=0)
+        low = quantized_view(full, 4).compile_inference()
+        registry = ModelRegistry()
+        registry.set_ladder("fc", [full, low])
+        return registry, full, low
+
+    def test_downshift_is_atomic_old_or_new_never_mixed(self):
+        registry, full, low = self._ladder_registry()
+        x = np.random.default_rng(5).normal(size=32)
+        want_full = full.inference_forward(x[None])[0]
+        want_low = low.inference_forward(x[None])[0]
+        assert not np.array_equal(want_full, want_low)
+        with MPInferenceServer(
+            registry, workers=2, max_batch=4, max_wait_ms=0.5,
+            queue_depth=256,
+        ) as server:
+            server.infer(x, endpoint="fc", timeout=120.0)  # warm
+            gen_before = registry.generation("fc")
+            futures = []
+            swapped = threading.Event()
+
+            def downshift():
+                time.sleep(0.02)
+                registry.serve_level("fc", 1)
+                swapped.set()
+
+            swapper = threading.Thread(target=downshift)
+            swapper.start()
+            for _ in range(200):
+                futures.append(server.submit(x, endpoint="fc"))
+                time.sleep(0.0005)
+            swapper.join()
+            assert registry.ladder_level("fc") == 1
+            saw_new = 0
+            # The two rungs differ at ~1e-1 (4-bit weights); a 1e-9
+            # tolerance separates them unambiguously while allowing the
+            # last-ulp batch-size-dependent FFT summation differences.
+            def matches(y, want):
+                return np.allclose(y, want, rtol=1e-9, atol=1e-9)
+
+            for future in futures:
+                response = future.result(120.0)
+                # Old-or-new, never mixed: every row matches exactly one
+                # rung's output, and the generation tag agrees with
+                # which one.
+                assert matches(response.y, want_full) != matches(
+                    response.y, want_low
+                ), "response matches neither rung (or both): mixed swap?"
+                if response.generation == gen_before:
+                    assert matches(response.y, want_full)
+                else:
+                    assert response.generation == gen_before + 1
+                    assert matches(response.y, want_low)
+                    saw_new += 1
+            assert saw_new > 0, "no request observed the downshifted rung"
+            # Recovery path: step back up, served bit-identically again.
+            registry.serve_level("fc", 0)
+            np.testing.assert_array_equal(
+                server.infer(x, endpoint="fc", timeout=120.0), want_full
+            )
+
+    def test_controller_steps_down_under_overload_and_recovers(self):
+        registry, full, low = self._ladder_registry()
+        x = np.random.default_rng(6).normal(size=32)
+        want_low = low.inference_forward(x[None])[0]
+        with MPInferenceServer(
+            registry, workers=1, max_batch=2, max_wait_ms=0.0,
+            queue_depth=2,
+        ) as server:
+            server.infer(x, endpoint="fc", timeout=120.0)  # warm
+            controller = DegradationController(
+                server, "fc",
+                DegradationPolicy(step_down_pressure=0.2,
+                                  step_up_pressure=0.05, dwell_s=0.0,
+                                  recovery_s=0.15),
+            )
+            controller.tick()  # baseline counters
+            # Overload burst: queue_depth=2 sheds most of a tight burst.
+            shed = 0
+            admitted = []
+            for _ in range(60):
+                try:
+                    admitted.append(server.submit(x, endpoint="fc"))
+                except QueueFullError:
+                    shed += 1
+            assert shed > 0
+            assert controller.tick() == 1, "no downshift under overload"
+            assert registry.ladder_level("fc") == 1
+            # Let the admitted burst requests resolve so the recovery
+            # phase starts with a clear admission queue.
+            for future in admitted:
+                future.result(120.0)
+            np.testing.assert_array_equal(
+                server.infer(x, endpoint="fc", timeout=120.0), want_low
+            )
+            # Quiet period with healthy traffic: recovers with hysteresis
+            # (sustained low pressure, not a single quiet sample).
+            deadline = time.monotonic() + 30.0
+            while controller.level != 0 and time.monotonic() < deadline:
+                server.infer(x, endpoint="fc", timeout=120.0)
+                controller.tick()
+                time.sleep(0.02)
+            assert controller.level == 0, "never recovered to rung 0"
+            # The recovery was not instantaneous — hysteresis held it
+            # down for at least recovery_s after the overload ended.
+            ups = [t for t in controller.transitions if t[2] < t[1]]
+            downs = [t for t in controller.transitions if t[2] > t[1]]
+            assert len(downs) == 1 and len(ups) == 1
+            assert ups[0][0] - downs[0][0] >= 0.15
+
+
+class TestWatchdogConfig:
+    def test_wedge_timeout_validation(self):
+        with pytest.raises(ConfigurationError):
+            MPInferenceServer(_fc_net(), wedge_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MPInferenceServer(_fc_net(), wedge_timeout_s=-1.0)
