@@ -36,6 +36,16 @@ class BackendError(ReproError, ValueError):
     """An unknown or unavailable compute backend was requested."""
 
 
+class PlanError(ConfigurationError):
+    """An execution plan is invalid or could not be produced.
+
+    Raised by :mod:`repro.plan` when a plan does not match the network it
+    is applied to (wrong layer count, backend on a non-spectral layer,
+    block-size mismatch) and by the autotuner when no candidate plan
+    passes its bit-compatibility tolerance.
+    """
+
+
 class ServingError(ReproError, RuntimeError):
     """A serving-runtime request could not be served (see :mod:`repro.serving`).
 

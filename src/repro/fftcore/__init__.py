@@ -18,12 +18,13 @@ This package reimplements that kernel in software:
 - :mod:`repro.fftcore.ops_count` — exact butterfly / real-operation /
   memory-traffic counts consumed by the architecture simulator.
 - :mod:`repro.fftcore.backend` — pluggable backends (:func:`get_backend`,
-  :func:`set_default_backend`): the numerically identical ``numpy.fft``
-  implementation for speed, or the from-scratch radix-2 kernels. Each
-  backend keeps a per-size plan cache (:meth:`FFTBackend.plan`) so the
-  radix-2 path never rebuilds twiddle tables — the warm-up contract the
-  spectral inference engine relies on. :func:`clear_plan_caches` resets
-  every plan/twiddle/real-FFT table cache in the process.
+  :func:`set_default_backend`, :func:`register_backend`): the numerically
+  identical ``numpy.fft`` implementation for speed, the from-scratch
+  radix-2 kernels, or any custom :class:`FFTBackend` registered by name.
+  Each backend keeps a per-size plan cache (:meth:`FFTBackend.plan`) so
+  the radix-2 path never rebuilds twiddle tables — the warm-up contract
+  the spectral inference engine relies on. :func:`clear_plan_caches`
+  resets every plan/twiddle/real-FFT table cache in the process.
 """
 
 from repro.fftcore.reference import dft_direct, idft_direct
@@ -43,7 +44,9 @@ from repro.fftcore.backend import (
     available_backends,
     clear_plan_caches,
     get_backend,
+    register_backend,
     set_default_backend,
+    unregister_backend,
 )
 
 __all__ = [
@@ -65,6 +68,8 @@ __all__ = [
     "clear_plan_caches",
     "get_backend",
     "get_plan",
+    "register_backend",
     "set_default_backend",
     "stage_twiddles",
+    "unregister_backend",
 ]

@@ -68,6 +68,18 @@ class FFTBackend:
         """Number of distinct transform sizes planned on this backend."""
         return len(self._plans)
 
+    def clear_plans(self) -> None:
+        """Drop this backend's per-size plan cache.
+
+        The public counterpart of the dictionary :meth:`plan` fills:
+        long-running servers bound memory after a burst of unusual
+        transform sizes by clearing per backend, and
+        :func:`clear_plan_caches` calls this on every registered backend
+        (custom :func:`register_backend` implementations may override it
+        to drop additional private state).
+        """
+        self._plans.clear()
+
     def __repr__(self) -> str:
         return f"<FFTBackend {self.name}>"
 
@@ -175,6 +187,9 @@ _BACKENDS: dict[str, FFTBackend] = {
     "numpy": NumpyFFTBackend(),
     "radix2": Radix2FFTBackend(),
 }
+#: Backend names this module itself installs; they cannot be unregistered
+#: (layer specs in stored artifacts reference them by name).
+BUILTIN_BACKENDS = ("numpy", "radix2")
 _default_backend_name = "numpy"
 
 
@@ -183,7 +198,63 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_BACKENDS))
 
 
-def get_backend(name: str | None = None) -> FFTBackend:
+def register_backend(backend: FFTBackend, *,
+                     replace: bool = False) -> FFTBackend:
+    """Register a custom :class:`FFTBackend` instance under its ``name``.
+
+    Opens the backend registry to accelerated or instrumented
+    implementations: once registered, the backend resolves everywhere a
+    backend *name* is accepted — layer constructors, execution plans, the
+    autotuner's candidate list, :func:`set_default_backend` — not only
+    where instances already pass through. ``name`` must be a non-empty
+    string distinct from ``"abstract"``; re-registering an existing name
+    raises :class:`~repro.errors.BackendError` unless ``replace=True``
+    (the two builtin names can be replaced but never removed). Returns
+    the backend for chaining.
+    """
+    if not isinstance(backend, FFTBackend):
+        raise BackendError(
+            f"register_backend expects an FFTBackend instance, got "
+            f"{type(backend).__name__}"
+        )
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name or name == "abstract":
+        raise BackendError(
+            f"backend must carry a non-empty name attribute to register, "
+            f"got {name!r}"
+        )
+    if name in _BACKENDS and not replace:
+        raise BackendError(
+            f"FFT backend {name!r} is already registered; pass "
+            "replace=True to substitute it"
+        )
+    _BACKENDS[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> FFTBackend:
+    """Remove a backend registered with :func:`register_backend`.
+
+    The builtin ``"numpy"`` / ``"radix2"`` entries cannot be removed
+    (stored artifacts reference them by name). If the removed backend was
+    the process-wide default, the default falls back to ``"numpy"``.
+    Returns the removed instance.
+    """
+    global _default_backend_name
+    if name in BUILTIN_BACKENDS:
+        raise BackendError(f"cannot unregister builtin backend {name!r}")
+    try:
+        backend = _BACKENDS.pop(name)
+    except KeyError:
+        raise BackendError(
+            f"unknown FFT backend {name!r}; available: {available_backends()}"
+        ) from None
+    if _default_backend_name == name:
+        _default_backend_name = "numpy"
+    return backend
+
+
+def get_backend(name: "str | FFTBackend | None" = None) -> FFTBackend:
     """Return a backend by name, or the process-wide default if ``None``."""
     if name is None:
         name = _default_backend_name
@@ -197,10 +268,28 @@ def get_backend(name: str | None = None) -> FFTBackend:
         ) from None
 
 
-def set_default_backend(name: str) -> None:
-    """Set the process-wide default backend (``"numpy"`` or ``"radix2"``)."""
+def set_default_backend(name: "str | FFTBackend") -> None:
+    """Set the process-wide default backend.
+
+    Accepts a registered name (``"numpy"``, ``"radix2"``, or anything
+    added via :func:`register_backend`) or — mirroring :func:`get_backend`
+    — an :class:`FFTBackend` *instance*, which is registered first if its
+    name is not yet taken (an already-registered name must resolve to the
+    same instance, else :class:`~repro.errors.BackendError`).
+    """
     global _default_backend_name
-    if name not in _BACKENDS:
+    if isinstance(name, FFTBackend):
+        backend = name
+        name = backend.name
+        registered = _BACKENDS.get(name)
+        if registered is None:
+            register_backend(backend)
+        elif registered is not backend:
+            raise BackendError(
+                f"a different backend is already registered as {name!r}; "
+                "register_backend(backend, replace=True) first"
+            )
+    elif name not in _BACKENDS:
         raise BackendError(
             f"unknown FFT backend {name!r}; available: {available_backends()}"
         )
@@ -210,13 +299,14 @@ def set_default_backend(name: str) -> None:
 def clear_plan_caches() -> None:
     """Reset every FFT plan/twiddle cache in the process.
 
-    Drops the per-backend plan dictionaries, the shared plan registry, and
-    the bit-reversal / twiddle / real-FFT table caches. Intended for tests
+    Drops the per-backend plan dictionaries (via each backend's public
+    :meth:`FFTBackend.clear_plans`), the shared plan registry, and the
+    bit-reversal / twiddle / real-FFT table caches. Intended for tests
     and long-running servers that want to bound memory after a burst of
     unusual transform sizes.
     """
     for backend in _BACKENDS.values():
-        backend._plans.clear()
+        backend.clear_plans()
     clear_plan_cache()
     clear_twiddle_caches()
     clear_real_fft_caches()

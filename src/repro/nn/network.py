@@ -89,6 +89,23 @@ class Sequential(Module):
             if isinstance(layer, Sequential):
                 yield from layer.named_layers(f"{path}.layers")
 
+    def planned_layers(self, prefix: str = "layers"):
+        """``(path, layer)`` for every layer an execution plan configures.
+
+        The positional spine of :class:`repro.plan.ExecutionPlan`: every
+        *parameterised* non-container layer, in :meth:`named_layers`
+        order. Containers are traversed, and parameter-free glue (ReLU,
+        pooling, flatten, activation quantisers) is skipped — so the
+        sequence is stable under the re-pathing that
+        activation-quantiser interleaving causes, which is what lets a
+        plan built from a float network apply to its quantised twin.
+        """
+        for path, layer in self.named_layers(prefix):
+            if isinstance(layer, Sequential):
+                continue
+            if layer.num_parameters() > 0:
+                yield path, layer
+
     def spectral_layers(self, prefix: str = "layers"):
         """``(path, layer)`` for every layer that consumes a weight spectrum.
 
@@ -112,7 +129,8 @@ class Sequential(Module):
         return self
 
     def compile_inference(
-        self, cache: SpectralWeightCache | None = None
+        self, cache: SpectralWeightCache | None = None, *,
+        plan=None,
     ) -> "Sequential":
         """Freeze the network for serving: the spectral inference engine.
 
@@ -131,7 +149,19 @@ class Sequential(Module):
         ``quantized_view(net, bits, bits).compile_inference()`` warms
         spectra from the fake-quantised weights (see
         ``docs/spectral_engine.md``). Returns self.
+
+        ``plan`` — a :class:`repro.plan.ExecutionPlan` — is applied
+        first, **destructively** (per-layer backends set, weights rounded
+        to the planned word lengths; same caveat as
+        :func:`repro.quant.quantize_network_weights`): spectra must warm
+        from the planned weights on the planned backends. To keep the
+        original float network, build a
+        :func:`repro.plan.planned_view` instead.
         """
+        if plan is not None:
+            from repro.plan import apply_plan_inplace
+
+            apply_plan_inplace(self, plan)
         self._spectral_cache = cache if cache is not None else SpectralWeightCache()
         self.eval()
         for layer in self.layers:
@@ -171,6 +201,18 @@ class Sequential(Module):
         """True once a spectral cache is attached (``compile_inference``
         or ``attach_spectral_cache``)."""
         return self.spectral_cache is not None
+
+    @property
+    def execution_plan(self):
+        """The :class:`repro.plan.ExecutionPlan` last applied, or ``None``.
+
+        Stamped by :func:`repro.plan.apply_plan_inplace` (and therefore
+        by ``compile_inference(plan=...)``, :func:`repro.plan.planned_view`
+        and :func:`repro.store.load_artifact`). A network configured only
+        through constructors reads as ``None``; use
+        ``ExecutionPlan.from_network(net)`` to derive its effective plan.
+        """
+        return getattr(self, "_execution_plan", None)
 
     @property
     def input_sample_shape(self) -> tuple[int | None, ...] | None:

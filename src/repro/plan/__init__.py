@@ -1,0 +1,47 @@
+"""Per-layer execution plans and the measured autotuner.
+
+The config spine of the serving stack: an
+:class:`ExecutionPlan` records, per parameterised layer, the FFT backend,
+the fixed-point word length, and the contraction (block-size) hint — the
+knobs CirCNN's design-space figures sweep. One plan object flows from
+compile (``Sequential.compile_inference(plan=...)`` /
+:func:`planned_view`) through persistence
+(:func:`repro.store.save_artifact` manifests) to serving
+(``ModelRegistry.apply_plan``), and :func:`tune` searches the plan space
+with the :mod:`repro.arch` cost model as a prior and real measured
+forwards as the verdict. See ``docs/execution_plans.md``.
+"""
+
+from repro.plan.execution_plan import (
+    PLAN_VERSION,
+    ExecutionPlan,
+    LayerPlan,
+    apply_plan_inplace,
+    planned_view,
+)
+from repro.plan.tuner import (
+    BackendCalibration,
+    CandidateResult,
+    TuningReport,
+    calibrate_backends,
+    measure_forward,
+    sweep_table,
+    tune,
+    validate_prior,
+)
+
+__all__ = [
+    "PLAN_VERSION",
+    "ExecutionPlan",
+    "LayerPlan",
+    "apply_plan_inplace",
+    "planned_view",
+    "BackendCalibration",
+    "CandidateResult",
+    "TuningReport",
+    "calibrate_backends",
+    "measure_forward",
+    "sweep_table",
+    "tune",
+    "validate_prior",
+]

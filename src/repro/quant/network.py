@@ -30,8 +30,6 @@ cache management needed. See ``docs/spectral_engine.md``.
 
 from __future__ import annotations
 
-import copy
-
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -121,19 +119,21 @@ def quantized_view(network: Sequential, weight_bits: int,
     freezes in eval mode and every block-circulant layer's spectrum is
     computed once from the quantised defining vectors (see the module
     docstring).
+
+    This is the uniform special case of :func:`repro.plan.planned_view` —
+    every layer gets the same word length, no backend changes. Per-layer
+    word lengths and backend selection go through an
+    :class:`~repro.plan.ExecutionPlan` directly.
     """
-    clone = copy.deepcopy(network)
-    _detach_spectral_state(clone)
-    quantize_network_weights(clone, weight_bits)
-    if activation_bits is None:
-        return clone
-    pipeline = Sequential()
-    pipeline.add(ActivationQuantizer(activation_bits))
-    for layer in clone.layers:
-        pipeline.add(layer)
-        pipeline.add(ActivationQuantizer(activation_bits))
-    pipeline.weight_quant_bits = weight_bits
-    return pipeline
+    # Lazy import: repro.plan imports this module's quantiser machinery.
+    from repro.plan import ExecutionPlan, planned_view
+
+    plan = ExecutionPlan.uniform(
+        sum(1 for _ in network.planned_layers()),
+        bits=weight_bits,
+        activation_bits=activation_bits,
+    )
+    return planned_view(network, plan, compile=False)
 
 
 def quantization_format(network) -> dict | None:
@@ -226,9 +226,24 @@ def requantize_endpoint(registry, endpoint: str, source: Sequential,
     last in-flight batch drops it. Returns the new compiled view.
 
     ``registry`` is a :class:`repro.serving.ModelRegistry` (duck-typed:
-    anything with a ``swap(name, network)`` method works).
+    anything with a ``swap(name, network)`` method works). When the
+    registry exposes ``apply_plan`` (the generalised re-plan action,
+    :meth:`repro.serving.ModelRegistry.apply_plan`), the requantisation
+    is routed through it — same atomic-swap semantics, plus the uniform
+    plan is recorded on the endpoint and spectra of layers the new word
+    length leaves bit-identical are seeded instead of recomputed.
     """
-    view = quantized_view(source, weight_bits, activation_bits)
-    view.compile_inference()
+    from repro.plan import ExecutionPlan
+
+    plan = ExecutionPlan.uniform(
+        sum(1 for _ in source.planned_layers()),
+        bits=weight_bits,
+        activation_bits=activation_bits,
+    )
+    if hasattr(registry, "apply_plan"):
+        return registry.apply_plan(endpoint, plan, source=source)
+    from repro.plan import planned_view
+
+    view = planned_view(source, plan)
     registry.swap(endpoint, view)
     return view

@@ -6,9 +6,9 @@ the float FC model, the CONV model, and one or more fixed-point
 behind a stable endpoint name. :class:`ModelRegistry` owns that mapping
 and makes replacement *atomic*: a batch resolves its network exactly once
 (:meth:`ModelRegistry.snapshot`), so a concurrent :meth:`swap` — a weight
-push, a requantisation (:func:`repro.quant.requantize_endpoint`), a
-rollback — is observed entirely or not at all, never as a mix of old and
-new layers. Old networks are not torn down: in-flight batches finish on
+push, a requantisation (:func:`repro.quant.requantize_endpoint`), an
+execution re-plan (:meth:`ModelRegistry.apply_plan`), a rollback — is
+observed entirely or not at all, never as a mix of old and new layers. Old networks are not torn down: in-flight batches finish on
 their snapshot, and the spectral cache's weak references let the retired
 generation be garbage-collected once the last batch drops it.
 """
@@ -41,6 +41,11 @@ class ModelRegistry:
         # full precision) and the level currently being served.
         self._ladders: dict[str, list] = {}
         self._ladder_levels: dict[str, int] = {}
+        # Execution-plan state: endpoint -> (source network, applied
+        # ExecutionPlan, the planned view being served). Recorded by
+        # apply_plan and invalidated whenever a foreign network is
+        # swapped in (_sync_plan_state).
+        self._plan_states: dict[str, tuple] = {}
 
     def subscribe(self, callback) -> None:
         """Call ``callback(name, network, generation)`` on every publish.
@@ -126,6 +131,7 @@ class ModelRegistry:
                 )
             self._endpoints[name] = (net, 0)
             self._sync_ladder_level(name, net)
+            self._sync_plan_state(name, net)
         self._notify(name, net, 0)
         return net
 
@@ -146,6 +152,7 @@ class ModelRegistry:
             generation = old[1] + 1 if old is not None else 0
             self._endpoints[name] = (net, generation)
             self._sync_ladder_level(name, net)
+            self._sync_plan_state(name, net)
         self._notify(name, net, generation)
         return old[0] if old is not None else None
 
@@ -163,6 +170,108 @@ class ModelRegistry:
                 return
         del self._ladders[name]
         del self._ladder_levels[name]
+
+    def _sync_plan_state(self, name: str, net) -> None:
+        # Caller holds self._lock. Keep the recorded plan honest across
+        # *any* swap: a foreign network means the recorded ExecutionPlan
+        # no longer describes what is being served, so drop it.
+        state = self._plan_states.get(name)
+        if state is not None and state[2] is not net:
+            del self._plan_states[name]
+
+    # -- execution plans -----------------------------------------------------
+    def apply_plan(self, name: str, plan, *, source=None):
+        """Atomically re-plan an endpoint: build, seed, compile, swap.
+
+        The generalised registry action behind
+        :func:`repro.quant.requantize_endpoint`: builds an uncompiled
+        :func:`repro.plan.planned_view` of ``source`` under ``plan``
+        (per-layer backends, word lengths, activation quantisers), then
+        compiles and :meth:`swap`\\ s it in — in-flight batches finish on
+        their snapshot, new batches see the planned view, never a mix.
+
+        **Zero-FFT-where-possible**: before compiling, every spectral
+        layer whose planned weights and backend are identical to what the
+        endpoint is currently serving has its spectrum *seeded* from the
+        served network's warm cache
+        (:meth:`~repro.circulant.spectral_cache.SpectralWeightCache.seed`)
+        — a backend-only re-plan (the autotuner's common case) swaps with
+        no new transforms for the unchanged layers, exactly like a
+        brownout rung move.
+
+        ``source`` defaults to the source recorded by the previous
+        ``apply_plan`` (so successive re-plans derive from the same float
+        original, not from an already-quantised view), falling back to
+        the currently served network. The applied plan is retrievable
+        via :meth:`applied_plan` until a foreign swap invalidates it.
+        Returns the compiled planned view.
+        """
+        from repro.plan import planned_view
+
+        with self._lock:
+            state = self._plan_states.get(name)
+            current = self._endpoints.get(name)
+            served = current[0] if current is not None else None
+        if source is None:
+            source = state[0] if state is not None else served
+            if source is None:
+                raise ConfigurationError(
+                    f"endpoint {name!r} is not registered; pass source= "
+                    "to apply a plan to a fresh endpoint"
+                )
+        view = planned_view(source, plan, compile=False)
+        from repro.circulant.spectral_cache import SpectralWeightCache
+
+        cache = SpectralWeightCache()
+        if served is not None and hasattr(served, "spectral_layers"):
+            self._seed_unchanged_spectra(served, view, cache)
+        view.compile_inference(cache)
+        with self._lock:
+            self._plan_states[name] = (source, plan, view)
+        self.swap(name, view, compile=False)
+        return view
+
+    @staticmethod
+    def _seed_unchanged_spectra(served, view, cache) -> None:
+        # Positional pairing, mirroring ExecutionPlan's positional
+        # layers. A structural mismatch (the served endpoint holds an
+        # unrelated network) just skips seeding; compile recomputes.
+        import numpy as np
+
+        from repro.fftcore.backend import get_backend
+
+        served_layers = list(served.spectral_layers())
+        view_layers = list(view.spectral_layers())
+        if len(served_layers) != len(view_layers):
+            return
+        for (_, old), (_, new) in zip(served_layers, view_layers):
+            old_cache = getattr(old, "spectral_cache", None)
+            if old_cache is None:
+                continue
+            backend_name = get_backend(new.backend).name
+            if get_backend(old.backend).name != backend_name:
+                continue
+            old_value = old.weight.value
+            new_value = new.weight.value
+            if old_value.shape != new_value.shape:
+                continue
+            if not np.array_equal(old_value, new_value):
+                continue
+            cache.seed(
+                new.weight,
+                old_cache.spectrum(old.weight, old.backend),
+                backend=backend_name,
+            )
+
+    def applied_plan(self, name: str):
+        """The :class:`~repro.plan.ExecutionPlan` ``name`` serves under.
+
+        ``None`` when no plan was applied — or when a later
+        :meth:`swap` installed a network the plan does not describe.
+        """
+        with self._lock:
+            state = self._plan_states.get(name)
+            return state[1] if state is not None else None
 
     def load_endpoint(self, name: str, path, *, mmap: bool = True):
         """Register a new endpoint straight from a stored artifact.
@@ -322,6 +431,7 @@ class ModelRegistry:
             del self._endpoints[name]
             self._ladders.pop(name, None)
             self._ladder_levels.pop(name, None)
+            self._plan_states.pop(name, None)
         return net
 
     def endpoints(self) -> list[str]:

@@ -90,6 +90,7 @@ def save_artifact(
     never leaves a loadable-looking directory.
     """
     from repro.nn.serialization import capture_compiled_state
+    from repro.plan import ExecutionPlan
     from repro.quant import quantization_format
 
     try:
@@ -133,6 +134,11 @@ def save_artifact(
         "spectra": spectra,
         "serving_signature": _json_signature(state["signature"]),
         "quantization": quantization_format(network),
+        # The per-layer execution configuration this network was compiled
+        # under: the stamped plan when one was applied, else the plan the
+        # network's construction embodies (backends, word lengths, block
+        # sizes). load_artifact re-stamps it on the rebuilt network.
+        "execution_plan": ExecutionPlan.from_network(network).to_json(),
     }
     write_manifest(directory, manifest)
     return read_manifest(directory)
@@ -214,6 +220,7 @@ def load_artifact(
     quantization = manifest.get("quantization")
     if quantization and quantization.get("weight_bits") is not None:
         network.weight_quant_bits = quantization["weight_bits"]
+    _restore_execution_plan(network, manifest, backend)
     signature = _json_signature(network.serving_signature())
     stored_signature = manifest["serving_signature"]
     for key in ("input_sample_shape", "layers", "cached_spectra"):
@@ -225,6 +232,56 @@ def load_artifact(
                 "artifact)"
             )
     return network
+
+
+def _restore_execution_plan(network, manifest: dict, backend) -> None:
+    """Re-stamp the manifest's execution plan on the rebuilt network.
+
+    Validates the document and its entry count against the rebuilt
+    layers (a mismatch means a hand-edited or cross-version artifact),
+    restores the per-layer ``weight_quant_bits`` markers the plan's
+    word lengths imply, and stamps ``network.execution_plan``. A
+    ``load_artifact(backend=...)`` override rewrites the stamped
+    backends to the override's registered name (or drops them when the
+    override is an unregistered instance) — the stamp must describe
+    what the network will actually run, not what was saved.
+    """
+    from repro.errors import PlanError
+    from repro.plan import ExecutionPlan, LayerPlan
+
+    try:
+        plan = ExecutionPlan.from_json(manifest["execution_plan"])
+    except PlanError as exc:
+        raise StoreError(
+            f"manifest execution_plan is invalid: {exc}"
+        ) from exc
+    planned = list(network.planned_layers())
+    if len(plan) != len(planned):
+        raise StoreError(
+            f"manifest execution_plan has {len(plan)} layer entries but "
+            f"the rebuilt network has {len(planned)} parameterised layers "
+            "(corrupted or hand-edited artifact)"
+        )
+    if backend is not None:
+        from repro.fftcore.backend import available_backends, get_backend
+
+        name = get_backend(backend).name
+        override = name if name in available_backends() else None
+        plan = ExecutionPlan(
+            layers=tuple(
+                LayerPlan(
+                    backend=override if entry.backend is not None else None,
+                    bits=entry.bits,
+                    block_size=entry.block_size,
+                )
+                for entry in plan.layers
+            ),
+            activation_bits=plan.activation_bits,
+        )
+    for (_path, layer), entry in zip(planned, plan.layers):
+        if entry.bits is not None:
+            layer.weight_quant_bits = entry.bits
+    network._execution_plan = plan
 
 
 def verify_artifact(path: str | os.PathLike) -> dict:

@@ -18,6 +18,10 @@ serving-ready network without touching the original Python that built it:
   ``compile_inference()`` would have produced;
 - ``serving_signature`` / ``quantization`` — the batch-shape contract and
   fixed-point format the endpoint serves;
+- ``execution_plan`` — the :class:`repro.plan.ExecutionPlan` document
+  (per-layer backend / word length / block-size record) the network was
+  compiled under; ``load_artifact`` reconstructs and re-stamps it so a
+  loaded endpoint knows exactly what configuration it is serving;
 - ``content_hash`` — SHA-256 over the canonical manifest minus this
   field. Every chunk's CRC-32, shape, dtype and codec is inside the
   manifest, so the hash versions the artifact's full content without
@@ -43,7 +47,7 @@ MANIFEST_FILE = "manifest.json"
 
 _REQUIRED_KEYS = (
     "format", "content_hash", "codec", "network", "parameters", "spectra",
-    "serving_signature", "quantization",
+    "serving_signature", "quantization", "execution_plan",
 )
 
 

@@ -7,10 +7,15 @@ import pytest
 
 from repro.errors import BackendError
 from repro.fftcore import (
+    CountingFFTBackend,
     available_backends,
+    clear_plan_caches,
     get_backend,
+    register_backend,
     set_default_backend,
+    unregister_backend,
 )
+from repro.fftcore.backend import FFTBackend, NumpyFFTBackend
 
 
 class TestRegistry:
@@ -40,6 +45,125 @@ class TestRegistry:
     def test_set_unknown_default(self):
         with pytest.raises(BackendError):
             set_default_backend("cufft")
+
+
+class _CustomBackend(NumpyFFTBackend):
+    name = "custom-test"
+
+
+class TestRegisterBackend:
+    def test_register_resolves_by_name(self):
+        backend = _CustomBackend()
+        register_backend(backend)
+        try:
+            assert get_backend("custom-test") is backend
+            assert "custom-test" in available_backends()
+        finally:
+            unregister_backend("custom-test")
+        assert "custom-test" not in available_backends()
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(BackendError):
+            register_backend(object())
+
+    def test_register_rejects_abstract_name(self):
+        with pytest.raises(BackendError):
+            register_backend(FFTBackend())
+
+    def test_collision_needs_replace(self):
+        backend = _CustomBackend()
+        register_backend(backend)
+        try:
+            with pytest.raises(BackendError):
+                register_backend(_CustomBackend())
+            replacement = register_backend(_CustomBackend(), replace=True)
+            assert get_backend("custom-test") is replacement
+        finally:
+            unregister_backend("custom-test")
+
+    def test_builtins_cannot_be_unregistered(self):
+        with pytest.raises(BackendError):
+            unregister_backend("numpy")
+        with pytest.raises(BackendError):
+            unregister_backend("radix2")
+
+    def test_unregister_unknown(self):
+        with pytest.raises(BackendError):
+            unregister_backend("no-such-backend")
+
+    def test_set_default_accepts_instance(self):
+        backend = _CustomBackend()
+        try:
+            set_default_backend(backend)  # auto-registers the instance
+            assert get_backend(None) is backend
+        finally:
+            set_default_backend("numpy")
+            unregister_backend("custom-test")
+
+    def test_set_default_rejects_shadowing_instance(self):
+        register_backend(_CustomBackend())
+        try:
+            with pytest.raises(BackendError):
+                set_default_backend(_CustomBackend())
+        finally:
+            unregister_backend("custom-test")
+
+    def test_unregister_default_falls_back_to_numpy(self):
+        set_default_backend(_CustomBackend())
+        try:
+            assert get_backend(None).name == "custom-test"
+        finally:
+            unregister_backend("custom-test")
+        assert get_backend(None).name == "numpy"
+
+    def test_registered_backend_usable_in_layers(self):
+        from repro.nn import BlockCirculantDense
+
+        register_backend(_CustomBackend())
+        try:
+            layer = BlockCirculantDense(
+                16, 8, block_size=4, seed=0, backend="custom-test"
+            )
+            x = np.ones((2, 16))
+            np.testing.assert_allclose(
+                layer.inference_forward(x),
+                BlockCirculantDense(
+                    16, 8, block_size=4, seed=0, backend="numpy"
+                ).inference_forward(x),
+            )
+        finally:
+            unregister_backend("custom-test")
+
+
+class TestClearPlans:
+    def test_clear_plans_is_public_per_backend(self):
+        backend = get_backend("radix2")
+        backend.rfft(np.ones((2, 16)))
+        assert backend.plan_cache_size() > 0
+        backend.clear_plans()
+        assert backend.plan_cache_size() == 0
+
+    def test_clear_plan_caches_uses_clear_plans(self):
+        class Recording(NumpyFFTBackend):
+            name = "recording-test"
+            cleared = False
+
+            def clear_plans(self) -> None:
+                self.cleared = True
+                super().clear_plans()
+
+        backend = register_backend(Recording())
+        try:
+            clear_plan_caches()
+            assert backend.cleared
+        finally:
+            unregister_backend("recording-test")
+
+    def test_counting_backend_clear_plans(self):
+        backend = CountingFFTBackend("radix2")
+        backend.rfft(np.ones((2, 8)))
+        backend.clear_plans()
+        assert backend.plan_cache_size() == 0
 
 
 class TestBackendAgreement:

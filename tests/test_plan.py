@@ -1,0 +1,339 @@
+"""Tests for repro.plan: execution plans, planned views, and the tuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.fftcore import CountingFFTBackend
+from repro.nn import (
+    BlockCirculantConv2D,
+    BlockCirculantDense,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.plan import (
+    ExecutionPlan,
+    LayerPlan,
+    apply_plan_inplace,
+    calibrate_backends,
+    planned_view,
+    sweep_table,
+    tune,
+    validate_prior,
+)
+from repro.quant import ActivationQuantizer, quantization_format, quantized_view
+
+
+def _fc_net(seed: int = 0, backend=None) -> Sequential:
+    return Sequential(
+        BlockCirculantDense(32, 32, 8, seed=seed, backend=backend),
+        ReLU(),
+        BlockCirculantDense(32, 16, 4, seed=seed + 1, backend=backend),
+    )
+
+
+def _mixed_net(seed: int = 0, backend=None) -> Sequential:
+    return Sequential(
+        BlockCirculantConv2D(4, 8, 3, block_size=4, padding=1, seed=seed,
+                             backend=backend),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        BlockCirculantDense(8 * 3 * 3, 16, 4, seed=seed + 1, backend=backend),
+        ReLU(),
+        Dense(16, 10, seed=seed + 2),
+    )
+
+
+class TestExecutionPlan:
+    def test_uniform_and_len(self):
+        plan = ExecutionPlan.uniform(3, backend="numpy", bits=12)
+        assert len(plan) == 3
+        assert all(entry.backend == "numpy" for entry in plan)
+        assert plan[1].bits == 12
+
+    def test_json_round_trip(self):
+        plan = ExecutionPlan(
+            (LayerPlan(backend="radix2", bits=10, block_size=8),
+             LayerPlan()),
+            activation_bits=12,
+        )
+        assert ExecutionPlan.from_json(plan.to_json()) == plan
+        assert ExecutionPlan.loads(plan.dumps()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(PlanError):
+            ExecutionPlan.from_json({"not": "a plan"})
+        with pytest.raises(PlanError):
+            ExecutionPlan.from_json(
+                {"version": 99, "layers": []}
+            )
+        with pytest.raises(PlanError):
+            ExecutionPlan.from_json(
+                {"layers": [{"backend": "numpy", "volts": 0.55}]}
+            )
+
+    def test_from_network_reads_construction(self):
+        net = _mixed_net(backend="radix2")
+        plan = ExecutionPlan.from_network(net)
+        # conv, dense, plain Dense — in planned_layers order.
+        assert len(plan) == 3
+        assert plan[0].backend == "radix2" and plan[0].block_size == 4
+        assert plan[1].backend == "radix2" and plan[1].block_size == 4
+        assert plan[2].backend is None and plan[2].block_size is None
+        assert plan.activation_bits is None
+
+    def test_from_network_resolves_default_backend(self):
+        plan = ExecutionPlan.from_network(_fc_net())
+        assert plan[0].backend == "numpy"
+
+    def test_with_layer(self):
+        plan = ExecutionPlan.uniform(2, backend="numpy")
+        flipped = plan.with_layer(1, backend="radix2")
+        assert flipped[0].backend == "numpy"
+        assert flipped[1].backend == "radix2"
+        assert plan[1].backend == "numpy"  # original untouched
+
+    def test_describe_mentions_every_layer(self):
+        text = ExecutionPlan.uniform(2, backend="numpy", bits=8).describe()
+        assert "[0]" in text and "[1]" in text and "numpy" in text
+
+
+class TestApplyPlan:
+    def test_wrong_length_raises(self):
+        with pytest.raises(PlanError):
+            apply_plan_inplace(_fc_net(), ExecutionPlan.uniform(5))
+
+    def test_backend_on_non_spectral_raises(self):
+        net = Sequential(Dense(8, 4, seed=0))
+        plan = ExecutionPlan((LayerPlan(backend="numpy"),))
+        with pytest.raises(PlanError):
+            apply_plan_inplace(net, plan)
+
+    def test_unknown_backend_raises(self):
+        from repro.errors import BackendError
+
+        net = _fc_net()
+        plan = ExecutionPlan(
+            (LayerPlan(backend="fftw"), LayerPlan())
+        )
+        with pytest.raises(BackendError):
+            apply_plan_inplace(net, plan)
+
+    def test_block_size_mismatch_raises(self):
+        net = _fc_net()
+        plan = ExecutionPlan(
+            (LayerPlan(block_size=16), LayerPlan())
+        )
+        with pytest.raises(PlanError):
+            apply_plan_inplace(net, plan)
+
+    def test_activation_bits_without_quantizers_raises(self):
+        plan = ExecutionPlan.uniform(2, activation_bits=8)
+        with pytest.raises(PlanError):
+            apply_plan_inplace(_fc_net(), plan)
+
+    def test_apply_sets_backend_and_bits(self):
+        net = _fc_net(backend="radix2")
+        plan = ExecutionPlan(
+            (LayerPlan(backend="numpy", bits=12), LayerPlan(bits=10))
+        )
+        apply_plan_inplace(net, plan)
+        assert net.layers[0].backend == "numpy"
+        assert net.layers[0].weight_quant_bits == 12
+        assert net.layers[2].backend == "radix2"  # untouched
+        assert net.layers[2].weight_quant_bits == 10
+        assert net.execution_plan is plan
+        # Mixed word lengths: no network-level marker is invented.
+        assert getattr(net, "weight_quant_bits", None) is None
+
+    def test_uniform_bits_sets_network_marker(self):
+        net = _fc_net()
+        apply_plan_inplace(net, ExecutionPlan.uniform(2, bits=8))
+        assert net.weight_quant_bits == 8
+        assert quantization_format(net) == {
+            "weight_bits": 8, "activation_bits": None,
+        }
+
+    def test_quantisation_bumps_versions(self):
+        net = _fc_net()
+        before = net.layers[0].weight.version
+        apply_plan_inplace(net, ExecutionPlan.uniform(2, bits=8))
+        assert net.layers[0].weight.version > before
+
+    def test_compile_inference_accepts_plan(self, rng):
+        net = _fc_net(backend="radix2")
+        plan = ExecutionPlan(
+            (LayerPlan(backend="numpy"), LayerPlan(backend="numpy"))
+        )
+        net.compile_inference(plan=plan)
+        assert net.is_compiled
+        assert net.execution_plan is plan
+        assert net.layers[0].backend == "numpy"
+        x = rng.normal(size=(3, 32))
+        assert net.inference_forward(x).shape == (3, 16)
+
+
+class TestPlannedView:
+    def test_matches_quantized_view_bit_for_bit(self, rng):
+        source = _fc_net()
+        x = rng.normal(size=(4, 32))
+        plan = ExecutionPlan.uniform(2, bits=10, activation_bits=8)
+        view = planned_view(source, plan, compile=False)
+        twin = quantized_view(source, 10, 8)
+        np.testing.assert_array_equal(
+            view.inference_forward(x), twin.inference_forward(x)
+        )
+
+    def test_source_untouched(self, rng):
+        source = _fc_net()
+        before = [param.value.copy() for param in source.parameters()]
+        planned_view(
+            source, ExecutionPlan.uniform(2, bits=6, activation_bits=6)
+        )
+        for param, old in zip(source.parameters(), before):
+            np.testing.assert_array_equal(param.value, old)
+        assert source.execution_plan is None
+
+    def test_interleaves_activation_quantizers(self):
+        view = planned_view(
+            _fc_net(), ExecutionPlan.uniform(2, activation_bits=8),
+            compile=False,
+        )
+        quantizers = [
+            layer for layer in view.layers
+            if isinstance(layer, ActivationQuantizer)
+        ]
+        assert len(quantizers) == 4  # one before, one after each layer
+        assert all(q.total_bits == 8 for q in quantizers)
+
+    def test_backend_only_view_is_bit_identical(self, rng):
+        source = _fc_net(backend="radix2")
+        x = rng.normal(size=(2, 32))
+        view = planned_view(
+            source,
+            ExecutionPlan(
+                (LayerPlan(backend="numpy"), LayerPlan(backend="numpy"))
+            ),
+        )
+        np.testing.assert_allclose(
+            view.inference_forward(x),
+            source.inference_forward(x),
+            atol=1e-9,
+        )
+
+    def test_compiled_by_default_and_runs_planned_backend(self, rng):
+        counting = CountingFFTBackend("numpy")
+        source = _fc_net()
+        view = planned_view(
+            source,
+            ExecutionPlan(
+                (LayerPlan(backend=counting), LayerPlan())
+            ),
+        )
+        assert view.is_compiled
+        counting.reset()
+        view.inference_forward(rng.normal(size=(2, 32)))
+        # Weight spectrum cached at compile; only activation transforms run.
+        assert counting.counts["rfft"] == 1
+        assert counting.counts["irfft"] == 1
+
+    def test_plan_backend_accepts_instances_uncompiled_only(self):
+        # Plans persisted to JSON need names, but apply accepts anything
+        # get_backend resolves — instances included (tuning/debug hooks).
+        counting = CountingFFTBackend("numpy")
+        view = planned_view(
+            _fc_net(),
+            ExecutionPlan((LayerPlan(backend=counting), LayerPlan())),
+            compile=False,
+        )
+        assert view.layers[0].backend is counting
+
+
+class TestTuner:
+    def test_calibration_covers_requested_grid(self):
+        calibration = calibrate_backends(
+            ("numpy", "radix2"), (8, 4, 8), repeats=1, batch=8
+        )
+        assert set(calibration.fft_seconds) == {
+            ("numpy", 4), ("numpy", 8), ("radix2", 4), ("radix2", 8),
+        }
+        assert all(t > 0 for t in calibration.fft_seconds.values())
+        assert calibration.cmult_seconds > 0
+
+    def test_tune_prefers_fast_backend(self, rng):
+        net = _fc_net(backend="radix2")
+        x = rng.normal(size=(4, 32))
+        report = tune(
+            net, x, backends=("numpy", "radix2"), repeats=2, max_plans=6
+        )
+        # The python radix-2 kernels are far slower than numpy.fft: the
+        # winner must move every spectral layer off radix2.
+        assert all(entry.backend == "numpy" for entry in report.best)
+        assert report.best_seconds <= report.baseline_seconds
+        assert any(c.label == "as-built" for c in report.candidates)
+        assert all(c.admitted for c in report.candidates)
+
+    def test_tune_report_is_jsonable(self, rng):
+        import json
+
+        net = _fc_net()
+        report = tune(
+            net, rng.normal(size=(2, 32)), backends=("numpy",), repeats=1
+        )
+        doc = json.loads(json.dumps(report.to_json()))
+        assert doc["best"]["layers"]
+        assert doc["candidates"]
+
+    def test_tune_rejects_incompatible_tolerance(self, rng):
+        net = _fc_net(backend="radix2")
+        x = rng.normal(size=(2, 32))
+        # An impossible tolerance rejects every candidate save the exact
+        # reference duplicates; tolerance=-1 rejects even those.
+        with pytest.raises(PlanError):
+            tune(net, x, backends=("numpy", "radix2"), repeats=1,
+                 tolerance=-1.0)
+
+    def test_tune_energy_objective_picks_low_bits(self, rng):
+        net = _fc_net()
+        x = rng.normal(size=(2, 32))
+        report = tune(
+            net, x, backends=("numpy",), bits=(None, 8),
+            objective="energy", latency_slack=10.0, repeats=1,
+        )
+        # With a huge latency slack the bits=8 candidate's quadratic
+        # multiplier-energy saving must win the energy objective.
+        assert all(entry.bits == 8 for entry in report.best)
+
+    def test_tune_bad_objective(self, rng):
+        with pytest.raises(PlanError):
+            tune(_fc_net(), rng.normal(size=(1, 32)), objective="vibes")
+
+    def test_sweep_table_and_prior_validation(self, rng):
+        x = rng.normal(size=(2, 32))
+
+        def build(k):
+            return Sequential(
+                BlockCirculantDense(32, 32, k, seed=0),
+                ReLU(),
+                BlockCirculantDense(32, 16, k, seed=1),
+            )
+
+        table = sweep_table(
+            build, x, block_sizes=(4, 16), backends=("radix2",),
+            bits=(None, 8), repeats=1,
+        )
+        assert len(table) == 2 * 1 * 2  # k × backend × bits
+        for record in table:
+            assert record["seconds"] > 0
+            assert record["prior_seconds"] > 0
+            assert record["prior_energy_j"] > 0
+        agreement = validate_prior(table)
+        assert set(agreement) == {("radix2", None), ("radix2", 8)}
+        for value in agreement.values():
+            assert 0.0 <= value <= 1.0

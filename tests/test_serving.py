@@ -866,3 +866,119 @@ class TestRegistrySubscription:
         registry.register("a", _fc_net())
         registry.swap("a", _fc_net(seed=3))
         assert seen == [True, True]
+
+
+class TestApplyPlan:
+    """ModelRegistry.apply_plan: the generalised registry re-plan action."""
+
+    def test_apply_plan_swaps_and_records(self, rng):
+        from repro.plan import ExecutionPlan
+
+        registry = ModelRegistry()
+        source = _fc_net()
+        registry.register("fc", source)
+        plan = ExecutionPlan.uniform(2, bits=8)
+        view = registry.apply_plan("fc", plan)
+        assert registry.get("fc") is view
+        assert registry.generation("fc") == 1
+        assert registry.applied_plan("fc") == plan
+        assert view.is_compiled
+        x = rng.normal(size=(3, 32))
+        # The 8-bit endpoint serves visibly different numbers.
+        assert not np.allclose(
+            view.inference_forward(x), source.inference_forward(x))
+
+    def test_reapply_defaults_to_recorded_source(self, rng):
+        from repro.plan import ExecutionPlan
+
+        registry = ModelRegistry()
+        source = _fc_net()
+        registry.register("fc", source)
+        registry.apply_plan("fc", ExecutionPlan.uniform(2, bits=8))
+        # Re-plan without naming a source: quantises the *original*
+        # weights at 12 bits, not the already-8-bit served view.
+        view12 = registry.apply_plan("fc", ExecutionPlan.uniform(2, bits=12))
+        from repro.plan import planned_view
+
+        x = rng.normal(size=(2, 32))
+        np.testing.assert_array_equal(
+            view12.inference_forward(x),
+            planned_view(
+                source, ExecutionPlan.uniform(2, bits=12)
+            ).inference_forward(x),
+        )
+
+    def test_foreign_swap_clears_plan_state(self):
+        from repro.plan import ExecutionPlan
+
+        registry = ModelRegistry()
+        registry.register("fc", _fc_net())
+        registry.apply_plan("fc", ExecutionPlan.uniform(2, bits=8))
+        assert registry.applied_plan("fc") is not None
+        registry.swap("fc", _fc_net(seed=5))
+        assert registry.applied_plan("fc") is None
+
+    def test_backend_replan_seeds_unchanged_spectra(self, rng):
+        from repro.fftcore import CountingFFTBackend, register_backend, \
+            unregister_backend
+        from repro.plan import ExecutionPlan, LayerPlan
+
+        counting = CountingFFTBackend("numpy")
+        counting.name = "counting-serve"
+        register_backend(counting)
+        try:
+            source = Sequential(
+                BlockCirculantDense(32, 32, 8, seed=0,
+                                    backend="counting-serve"),
+                ReLU(),
+                BlockCirculantDense(32, 16, 4, seed=1,
+                                    backend="counting-serve"),
+            )
+            registry = ModelRegistry()
+            registry.register("fc", source)
+            compiled = counting.total()
+            assert compiled > 0
+            # Word-length change on layer 1 only: layer 0's weights (and
+            # backend) are untouched, so its spectrum is seeded, not
+            # recomputed — the only new weight FFT belongs to layer 1.
+            plan = ExecutionPlan(
+                (LayerPlan(), LayerPlan(bits=8)))
+            counting.reset()
+            view = registry.apply_plan("fc", plan)
+            # One batched weight-spectrum transform per *recomputed* layer:
+            # layer 1 only. Layer 0's spectrum arrived by cache seeding.
+            assert counting.counts["rfft"] == 1
+            x = rng.normal(size=(2, 32))
+            assert view.inference_forward(x).shape == (2, 16)
+        finally:
+            unregister_backend("counting-serve")
+
+    def test_apply_plan_observed_atomically(self, rng):
+        from repro.plan import ExecutionPlan, planned_view
+
+        registry = ModelRegistry()
+        source = _fc_net(seed=0)
+        registry.register("fc", source)
+        plan = ExecutionPlan.uniform(2, bits=4, activation_bits=4)
+        x = rng.normal(size=32)
+        ref_old = registry.get("fc").inference_forward(x[np.newaxis])[0]
+        ref_new = planned_view(source, plan).inference_forward(
+            x[np.newaxis])[0]
+        # 4-bit quantisation moves every output: mixed forwards match
+        # neither reference.
+        assert not np.allclose(ref_old, ref_new, atol=1e-6)
+        with InferenceServer(
+            registry, max_batch=4, max_wait_ms=0.5, workers=2
+        ) as server:
+            futures = [server.submit(x, "fc") for _ in range(30)]
+            registry.apply_plan("fc", plan)
+            futures += [server.submit(x, "fc") for _ in range(30)]
+            responses = [f.result(timeout=30.0) for f in futures]
+        for response in responses:
+            from_old = np.allclose(response.y, ref_old, atol=1e-10)
+            from_new = np.allclose(response.y, ref_new, atol=1e-10)
+            assert from_old != from_new, \
+                "response matches neither the old nor the re-planned net"
+            assert (response.generation == 0) == from_old
+        assert all(r.generation == 1 for r in responses[30:])
+        assert registry.applied_plan("fc") == plan

@@ -614,3 +614,87 @@ class TestRegistryFromStore:
         assert registry.generation("fc") == 2
         np.testing.assert_array_equal(
             registry.get("fc").inference_forward(x), expected_v1)
+
+
+class TestExecutionPlanPersistence:
+    """The plan spine survives the store: save → load → apply_plan."""
+
+    def test_manifest_records_plan(self, tmp_path):
+        from repro.plan import ExecutionPlan, LayerPlan, planned_view
+
+        net = _fc_net()
+        plan = ExecutionPlan(
+            layers=(LayerPlan(backend="numpy", bits=10),
+                    LayerPlan(backend="radix2", bits=8)),
+        )
+        view = planned_view(net, plan)
+        manifest = save_artifact(view, tmp_path)
+        doc = manifest["execution_plan"]
+        assert [entry["backend"] for entry in doc["layers"]] == \
+            ["numpy", "radix2"]
+        assert [entry["bits"] for entry in doc["layers"]] == [10, 8]
+
+    def test_plan_save_load_apply_bit_identical(self, tmp_path, rng):
+        from repro.plan import ExecutionPlan, planned_view
+
+        # Tune-shaped plan: mixed backends, mixed word lengths.
+        net = _fc_net()
+        plan = ExecutionPlan.from_network(net) \
+            .with_layer(0, backend="numpy", bits=10) \
+            .with_layer(1, backend="radix2", bits=8)
+        view = planned_view(net, plan)
+        x = rng.normal(size=(5, 32))
+        expected = view.inference_forward(x)
+
+        save_artifact(view, tmp_path, codec="identity")
+        loaded = load_artifact(tmp_path)
+        # The stamp round-trips and the outputs are bit-identical.
+        assert loaded.execution_plan == view.execution_plan
+        np.testing.assert_array_equal(loaded.inference_forward(x), expected)
+
+        # Serve the loaded artifact, then re-plan the endpoint through the
+        # registry: the same plan applied to the same source is a no-op in
+        # outputs, and the endpoint records it.
+        registry = ModelRegistry()
+        registry.register("fc", loaded, compile=False)
+        served = registry.apply_plan("fc", loaded.execution_plan)
+        assert registry.applied_plan("fc") == view.execution_plan
+        np.testing.assert_array_equal(
+            served.inference_forward(x), expected)
+        np.testing.assert_array_equal(
+            registry.get("fc").inference_forward(x), expected)
+
+    def test_backend_override_rewrites_stamp(self, tmp_path):
+        net = _fc_net()
+        net.compile_inference()
+        save_artifact(net, tmp_path)
+        loaded = load_artifact(tmp_path, backend="radix2")
+        assert all(entry.backend == "radix2"
+                   for entry in loaded.execution_plan)
+        counting = CountingFFTBackend("numpy")
+        hooked = load_artifact(tmp_path, backend=counting)
+        # An unregistered instance cannot be named in a portable stamp.
+        assert all(entry.backend is None
+                   for entry in hooked.execution_plan)
+
+    def test_save_rejects_unregistered_backend_instance(self, tmp_path):
+        counting = CountingFFTBackend("numpy")
+        net = Sequential(
+            BlockCirculantDense(16, 8, 4, seed=0, backend=counting),
+        )
+        net.compile_inference()
+        with pytest.raises(StoreError, match="unregistered"):
+            save_artifact(net, tmp_path)
+
+    def test_corrupt_plan_entry_count_raises(self, tmp_path):
+        from repro.store.manifest import MANIFEST_FILE, write_manifest
+
+        net = _fc_net().compile_inference()
+        save_artifact(net, tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_FILE).read_text())
+        manifest["execution_plan"]["layers"].append(
+            {"backend": None, "bits": None, "block_size": None})
+        del manifest["content_hash"]
+        write_manifest(tmp_path, manifest)
+        with pytest.raises(StoreError, match="layer entries"):
+            load_artifact(tmp_path)
