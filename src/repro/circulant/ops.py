@@ -368,6 +368,7 @@ def block_circulant_backward(
     *,
     cached_spectrum: np.ndarray | None = None,
     cached_input_spectrum: np.ndarray | None = None,
+    cached_grad_spectrum: np.ndarray | None = None,
     compute_input_grad: bool = True,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Algorithm 2: gradients of the block-circulant product.
@@ -388,6 +389,14 @@ def block_circulant_backward(
         ``input_spectrum`` of the :class:`SpectralTape` a recording
         forward returned. With both spectra supplied, this kernel's only
         FFT is the one over ``grad_blocks``.
+    cached_grad_spectrum:
+        Optional precomputed ``rfft(grad_blocks)``. The BPTT path of the
+        recurrent layers transforms each timestep's output gradient once
+        while walking the sequence backwards, then stacks those spectra
+        t-major and calls this kernel *once* for the deferred
+        weight-gradient contraction over all ``T·batch`` rows — with all
+        three spectra supplied the kernel performs **zero** forward FFTs
+        (only the inverse transforms of the results).
     compute_input_grad:
         When false, the ``∂L/∂x`` product (one GEMM + one inverse FFT) is
         skipped entirely and ``None`` is returned in its place — for the
@@ -427,7 +436,11 @@ def block_circulant_backward(
     else:
         xf = cached_input_spectrum
         _check_spectrum_shape(xf, x_blocks.shape)
-    gf = be.rfft(grad_blocks)
+    if cached_grad_spectrum is None:
+        gf = be.rfft(grad_blocks)
+    else:
+        gf = cached_grad_spectrum
+        _check_spectrum_shape(gf, grad_blocks.shape)
     # The two einsums ("bpf,bqf->pqf" and "pqf,bpf->bqf") as per-frequency
     # BLAS products, mirroring the forward pass. The weight gradient uses
     # G ∘ conj(X) = conj(conj(G) ∘ X) so only the small grad spectrum and

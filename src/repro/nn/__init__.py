@@ -13,7 +13,7 @@ drop-in replacements for :class:`~repro.nn.Dense` and
 story at the software level.
 """
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, StatefulModule
 from repro.nn.activations import ReLU, Sigmoid, Tanh
 from repro.nn.dense import Dense
 from repro.nn.block_circulant_dense import BlockCirculantDense
@@ -23,6 +23,7 @@ from repro.nn.pooling import AvgPool2D, MaxPool2D
 from repro.nn.reshape import Flatten
 from repro.nn.dropout import Dropout
 from repro.nn.fft_conv import FFTConv2D
+from repro.nn.recurrent import BlockCirculantGRU, BlockCirculantLSTM
 from repro.nn.losses import MSELoss, SoftmaxCrossEntropyLoss
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD, Adam
@@ -39,6 +40,9 @@ from repro.nn.serialization import (
 __all__ = [
     "Module",
     "Parameter",
+    "StatefulModule",
+    "BlockCirculantLSTM",
+    "BlockCirculantGRU",
     "ReLU",
     "Sigmoid",
     "Tanh",

@@ -48,6 +48,10 @@ class GradCheckReport:
     max_input_error: float
     parameter_errors: dict[str, float] = field(default_factory=dict)
     tolerance: float = 1e-5
+    #: False when the module returned ``None`` from ``backward``
+    #: (``needs_input_grad=False``) — the input gradient is then skipped,
+    #: not validated.
+    input_grad_checked: bool = True
 
     @property
     def ok(self) -> bool:
@@ -62,7 +66,11 @@ class GradCheckReport:
         lines = [
             f"gradient check ({'OK' if self.ok else 'FAILED'}, "
             f"tol={self.tolerance:g}):",
-            f"  input grad max error: {self.max_input_error:.3e}",
+            (
+                f"  input grad max error: {self.max_input_error:.3e}"
+                if self.input_grad_checked
+                else "  input grad: skipped (backward returned None)"
+            ),
         ]
         for name, error in self.parameter_errors.items():
             lines.append(f"  {name} grad max error: {error:.3e}")
@@ -71,28 +79,53 @@ class GradCheckReport:
 
 def check_module(module: Module, x: np.ndarray, seed=0,
                  eps: float = 1e-6,
-                 tolerance: float = 1e-5) -> GradCheckReport:
+                 tolerance: float = 1e-5, state=None) -> GradCheckReport:
     """Validate a module's backward pass against finite differences.
 
     Uses a random cotangent so all output positions are exercised. The
     module is evaluated in its current training mode; stochastic layers
     (dropout) should be put in ``eval()`` first or seeded so repeated
     forwards agree.
+
+    Works on state-carrying modules and sequence-shaped inputs too: a
+    :class:`~repro.nn.module.StatefulModule` (or a ``Sequential``
+    containing one) is run through ``forward_with_state`` from ``state``
+    — its :meth:`init_state` zeros when ``state`` is omitted — so the
+    BPTT backward is validated against differences of the very same
+    sequence forward, and ``x`` may carry any shape the module accepts
+    (``(batch, T, features)`` for the recurrent layers). Gradients
+    flowing *into* the initial state are not checked (the zero state has
+    no parameters). A module that returns ``None`` from ``backward``
+    (``needs_input_grad=False``) has its parameter gradients checked and
+    the input gradient marked skipped in the report.
     """
     rng = make_rng(seed)
     x = np.asarray(x, dtype=np.float64)
-    output = module.forward(x)
+    if state is None and getattr(module, "stateful", False):
+        state = module.init_state(x.shape[0])
+
+    def run() -> np.ndarray:
+        if state is not None:
+            y, _ = module.forward_with_state(x, state)
+            return y
+        return module.forward(x)
+
+    output = run()
     cotangent = rng.normal(size=output.shape)
 
     def loss() -> float:
-        return float(np.sum(module.forward(x) * cotangent))
+        return float(np.sum(run() * cotangent))
 
     module.zero_grad()
-    module.forward(x)
+    run()
     grad_input = module.backward(cotangent)
-    input_error = float(
-        np.max(np.abs(grad_input - numeric_gradient(loss, x, eps)))
-    )
+    if grad_input is None:
+        input_error, input_checked = 0.0, False
+    else:
+        input_error = float(
+            np.max(np.abs(grad_input - numeric_gradient(loss, x, eps)))
+        )
+        input_checked = True
     parameter_errors: dict[str, float] = {}
     for name, param in module.named_parameters():
         numeric = numeric_gradient(loss, param.value, eps)
@@ -101,4 +134,5 @@ def check_module(module: Module, x: np.ndarray, seed=0,
         max_input_error=input_error,
         parameter_errors=parameter_errors,
         tolerance=tolerance,
+        input_grad_checked=input_checked,
     )

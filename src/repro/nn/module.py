@@ -162,13 +162,47 @@ class Module:
         self._parameters[name] = param
         return param
 
+    # -- child-module traversal ----------------------------------------------
+    def named_children(self):
+        """Yield ``(name, Module)`` pairs of *direct* child modules.
+
+        The traversal protocol behind every structural surface of the
+        library — :meth:`named_parameters`, :meth:`train`,
+        ``Sequential.named_layers`` / ``planned_layers`` /
+        ``spectral_layers`` all recurse through it. The base class is a
+        leaf (no children); containers override it. Child names become
+        path segments: a child registered as ``"xi"`` under the layer at
+        ``layers.0`` owns parameters named ``layers.0.xi.<param>``.
+        """
+        return iter(())
+
+    def named_sublayers(self, prefix: str = ""):
+        """``(path, Module)`` for every descendant, depth-first.
+
+        Paths join :meth:`named_children` names with ``.`` under
+        ``prefix``, so they are prefixes of :meth:`named_parameters`
+        names — the invariant the model-artifact store and the execution
+        plan rely on to tie layers to their parameters.
+        """
+        for name, child in self.named_children():
+            path = f"{prefix}.{name}" if prefix else name
+            yield path, child
+            yield from child.named_sublayers(path)
+
     def named_parameters(self):
-        """Yield ``(name, Parameter)`` pairs of this module (not children)."""
+        """Yield ``(name, Parameter)`` pairs — own first, then children's,
+        child names prefixed per :meth:`named_children`."""
         yield from self._parameters.items()
+        for child_name, child in self.named_children():
+            for name, param in child.named_parameters():
+                yield f"{child_name}.{name}", param
 
     def parameters(self) -> list[Parameter]:
-        """All parameters of this module (subclasses with children extend)."""
-        return list(self._parameters.values())
+        """All parameters of this module and its children."""
+        params = list(self._parameters.values())
+        for _, child in self.named_children():
+            params.extend(child.parameters())
+        return params
 
     def num_parameters(self) -> int:
         """Total trainable scalars — the storage quantity Fig 7 compares."""
@@ -180,8 +214,11 @@ class Module:
 
     # -- modes ---------------------------------------------------------------
     def train(self, flag: bool = True) -> "Module":
-        """Set training mode (affects e.g. dropout); returns self."""
+        """Set training mode (affects e.g. dropout) on self and every
+        child; returns self."""
         self.training = flag
+        for _, child in self.named_children():
+            child.train(flag)
         return self
 
     def eval(self) -> "Module":
@@ -195,6 +232,17 @@ class Module:
     #: contract, but must stop at anything else (Flatten, pooling) whose
     #: input shape differs from the downstream layer's.
     shape_transparent: bool = False
+
+    #: True for layers whose forward carries state across timesteps (the
+    #: :class:`StatefulModule` protocol). Stateless layers ignore it.
+    stateful: bool = False
+
+    #: Which *per-sample* axis of :attr:`input_sample_shape` is a
+    #: variable-length time axis (``None`` for non-sequence layers).
+    #: Recurrent layers set ``0``: a sample is ``(T, features)`` with
+    #: ``T`` free, which is what lets the serving scheduler bucket ragged
+    #: sequence requests by padded length.
+    time_axis: int | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -228,3 +276,70 @@ class Module:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+class StatefulModule(Module):
+    """Protocol for layers whose forward carries state across timesteps.
+
+    The stateless contract above hard-codes "one forward per sample";
+    recurrence needs a forward that *threads state* instead. A stateful
+    layer consumes a ``(batch, T, features)`` sequence (per-sample time
+    axis 0, declared via :attr:`Module.time_axis`) and exposes:
+
+    - :meth:`init_state` — the zero state for a batch;
+    - :meth:`forward_with_state` / :meth:`inference_forward_with_state` —
+      the full-sequence forwards, returning ``(y, final_state)``. State
+      is **passed per call and returned, never stored on ``self``** —
+      that is what keeps ``inference_forward`` reentrant under the
+      serving runtime's concurrency contract, exactly like the stateless
+      layers' no-writes rule;
+    - :meth:`step` — one timestep for streaming consumers
+      (``Sequential.step`` threads it through mixed stacks). Pure, like
+      ``inference_forward``.
+
+    ``forward(x)`` / ``inference_forward(x)`` remain the whole-sequence
+    entry points (zero initial state), so a stateful layer still drops
+    into ``Sequential`` and the serving runtimes unchanged — the batch
+    contract is per-*sequence*, with state an internal loop variable.
+    Training-path forwards record a BPTT tape on ``self`` exactly as the
+    stateless layers record their spectral tape.
+    """
+
+    stateful: bool = True
+    time_axis: int | None = 0
+
+    def init_state(self, batch_size: int):
+        """The zero recurrent state for ``batch_size`` independent rows."""
+        raise NotImplementedError
+
+    def forward_with_state(self, x: np.ndarray, state):
+        """Recording full-sequence forward from ``state``; returns
+        ``(y, final_state)``."""
+        raise NotImplementedError
+
+    def inference_forward_with_state(self, x: np.ndarray, state):
+        """Pure full-sequence forward from ``state``; returns
+        ``(y, final_state)``. Reentrant: no writes to ``self``."""
+        raise NotImplementedError
+
+    def step(self, x_t: np.ndarray, state):
+        """One pure timestep: ``(batch, features)`` in, ``(y_t, state)`` out.
+
+        Default implementation runs the layer's sequence path on a
+        length-1 sequence — subclasses may override with a direct cell
+        update, but must stay bit-compatible with the sequence forward.
+        """
+        y, state = self.inference_forward_with_state(x_t[:, None, :], state)
+        return y[:, 0], state
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y, _ = self.forward_with_state(
+            x, self.init_state(np.asarray(x).shape[0])
+        )
+        return y
+
+    def inference_forward(self, x: np.ndarray) -> np.ndarray:
+        y, _ = self.inference_forward_with_state(
+            x, self.init_state(np.asarray(x).shape[0])
+        )
+        return y

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.circulant.spectral_cache import SpectralWeightCache
 from repro.errors import ConfigurationError
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 
 
 class Sequential(Module):
@@ -21,10 +21,35 @@ class Sequential(Module):
         self.layers.append(layer)
         return self
 
+    def _run_forward(self, x: np.ndarray, record: bool, state=None):
+        """The one forward pipeline behind every entry point.
+
+        Chains the layers in order, picking each layer's recording
+        (``forward``) or pure (``inference_forward``) path per ``record``.
+        When ``state`` is given (a per-layer tuple from
+        :meth:`init_state`), it is threaded *explicitly* through every
+        stateful layer's ``*_with_state`` sequence forward — state lives
+        in the caller's hands, never on ``self``, which is what keeps the
+        serving path reentrant — and ``(y, new_state)`` is returned
+        instead of ``y`` alone. Stateless layers pass their slot through
+        untouched.
+        """
+        states = None if state is None else list(state)
+        for index, layer in enumerate(self.layers):
+            if states is not None and getattr(layer, "stateful", False):
+                run = (layer.forward_with_state if record
+                       else layer.inference_forward_with_state)
+                x, states[index] = run(x, states[index])
+            elif record:
+                x = layer.forward(x)
+            else:
+                x = layer.inference_forward(x)
+        if states is None:
+            return x
+        return x, tuple(states)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
-        for layer in self.layers:
-            x = layer(x)
-        return x
+        return self._run_forward(x, record=True)
 
     def inference_forward(self, x: np.ndarray) -> np.ndarray:
         """Reentrant serving forward: chains each layer's stateless path.
@@ -34,10 +59,54 @@ class Sequential(Module):
         that cache intermediates for ``backward``), and safe to call from
         many threads at once over a compiled network — the serving
         runtime's concurrency contract (see ``docs/serving_runtime.md``).
+        Stateful layers start from their zero state per call, so a whole
+        sequence is one request.
         """
-        for layer in self.layers:
-            x = layer.inference_forward(x)
-        return x
+        return self._run_forward(x, record=False)
+
+    # -- recurrent state threading -------------------------------------------
+    @property
+    def stateful(self) -> bool:
+        """True when any layer carries recurrent state (see
+        :class:`~repro.nn.module.StatefulModule`)."""
+        return any(getattr(layer, "stateful", False) for layer in self.layers)
+
+    def init_state(self, batch_size: int) -> tuple:
+        """Per-layer zero states: one slot per layer, ``None`` for
+        stateless layers. The tuple threads through :meth:`step` /
+        :meth:`forward_with_state` positionally."""
+        return tuple(
+            layer.init_state(batch_size)
+            if getattr(layer, "stateful", False) else None
+            for layer in self.layers
+        )
+
+    def forward_with_state(self, x: np.ndarray, state):
+        """Recording sequence forward from explicit state; returns
+        ``(y, new_state)``."""
+        return self._run_forward(x, record=True, state=state)
+
+    def inference_forward_with_state(self, x: np.ndarray, state):
+        """Pure sequence forward from explicit state; returns
+        ``(y, new_state)``. Reentrant — state is per call, not on
+        ``self``."""
+        return self._run_forward(x, record=False, state=state)
+
+    def step(self, x_t: np.ndarray, state):
+        """One pure streaming timestep through the whole stack.
+
+        ``x_t`` is ``(batch, features)`` — no time axis; stateful layers
+        advance via their :meth:`~repro.nn.module.StatefulModule.step`,
+        stateless layers apply their ``inference_forward``. Returns
+        ``(y_t, new_state)``.
+        """
+        states = list(state)
+        for index, layer in enumerate(self.layers):
+            if getattr(layer, "stateful", False):
+                x_t, states[index] = layer.step(x_t, states[index])
+            else:
+                x_t = layer.inference_forward(x_t)
+        return x_t, tuple(states)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray | None:
         for index, layer in enumerate(reversed(self.layers)):
@@ -64,44 +133,50 @@ class Sequential(Module):
                 break
         return grad_output
 
-    def parameters(self) -> list[Parameter]:
-        params: list[Parameter] = []
-        for layer in self.layers:
-            params.extend(layer.parameters())
-        return params
-
-    def named_parameters(self):
+    def named_children(self):
+        """Direct children under their path-segment names
+        (``layers.<index>``); see :meth:`Module.named_children`."""
         for index, layer in enumerate(self.layers):
-            for name, param in layer.named_parameters():
-                yield f"layers.{index}.{name}", param
+            yield f"layers.{index}", layer
 
     def named_layers(self, prefix: str = "layers"):
-        """Yield ``(path, layer)`` pairs, recursing into nested Sequentials.
+        """Yield ``(path, layer)`` pairs, recursing into every container —
+        nested Sequentials *and* layers with registered children (the
+        recurrent layers' gate projections).
 
         Paths are prefixes of the :meth:`named_parameters` names — a layer
-        at ``layers.3`` owns the parameter ``layers.3.weight`` — which is
+        at ``layers.3`` owns the parameter ``layers.3.weight``, a gate at
+        ``layers.0.xi`` the parameter ``layers.0.xi.weight`` — which is
         what lets the model-artifact store (:mod:`repro.store`) tie each
         persisted spectrum back to the parameter it was computed from.
         """
         for index, layer in enumerate(self.layers):
             path = f"{prefix}.{index}"
             yield path, layer
-            if isinstance(layer, Sequential):
-                yield from layer.named_layers(f"{path}.layers")
+            yield from layer.named_sublayers(path)
+
+    @staticmethod
+    def _is_container(layer: Module) -> bool:
+        """True for layers that are traversed, not planned/captured
+        themselves — anything with registered children."""
+        return next(layer.named_children(), None) is not None
 
     def planned_layers(self, prefix: str = "layers"):
         """``(path, layer)`` for every layer an execution plan configures.
 
         The positional spine of :class:`repro.plan.ExecutionPlan`: every
-        *parameterised* non-container layer, in :meth:`named_layers`
-        order. Containers are traversed, and parameter-free glue (ReLU,
-        pooling, flatten, activation quantisers) is skipped — so the
-        sequence is stable under the re-pathing that
-        activation-quantiser interleaving causes, which is what lets a
-        plan built from a float network apply to its quantised twin.
+        *parameterised leaf* layer, in :meth:`named_layers` order.
+        Containers are traversed, not yielded — nested Sequentials, and
+        recurrent layers, whose gate projections each get their **own**
+        plan entry (per-gate backend and word length) — and
+        parameter-free glue (ReLU, pooling, flatten, activation
+        quantisers) is skipped, so the sequence is stable under the
+        re-pathing that activation-quantiser interleaving causes, which
+        is what lets a plan built from a float network apply to its
+        quantised twin.
         """
         for path, layer in self.named_layers(prefix):
-            if isinstance(layer, Sequential):
+            if self._is_container(layer):
                 continue
             if layer.num_parameters() > 0:
                 yield path, layer
@@ -112,21 +187,16 @@ class Sequential(Module):
         A spectral layer is one whose forward runs through the
         ``cached_spectrum=`` fast path — it owns a ``weight`` parameter
         *and* exposes a ``spectral_cache`` slot (the block-circulant FC
-        and CONV layers). Nested ``Sequential`` containers are traversed,
-        not yielded. This is the capture surface for
+        and CONV layers, and each gate projection of the recurrent
+        layers). Containers are traversed, not yielded. This is the
+        capture surface for
         :func:`repro.nn.serialization.capture_compiled_state`.
         """
         for path, layer in self.named_layers(prefix):
-            if isinstance(layer, Sequential):
+            if self._is_container(layer):
                 continue
             if hasattr(layer, "spectral_cache") and hasattr(layer, "weight"):
                 yield path, layer
-
-    def train(self, flag: bool = True) -> "Sequential":
-        super().train(flag)
-        for layer in self.layers:
-            layer.train(flag)
-        return self
 
     def compile_inference(
         self, cache: SpectralWeightCache | None = None, *,
@@ -234,12 +304,36 @@ class Sequential(Module):
                 return None
         return None
 
+    @property
+    def time_axis(self) -> int | None:
+        """Which per-sample axis (if any) is a variable-length time axis.
+
+        Scanned like :attr:`input_sample_shape`: the first stateful
+        layer's declared :attr:`~repro.nn.module.Module.time_axis` wins,
+        looking through shape-transparent layers only. ``None`` means the
+        network is purely feed-forward — every ``None`` axis in the input
+        shape is then an unordered wildcard (e.g. CONV spatial dims), not
+        a paddable sequence, and the serving scheduler must not
+        length-bucket it.
+        """
+        for layer in self.layers:
+            axis = getattr(layer, "time_axis", None)
+            if axis is not None:
+                return axis
+            if not getattr(layer, "shape_transparent", False):
+                return None
+        return None
+
     def serving_signature(self) -> dict:
         """Batch-shape metadata for serving runtimes.
 
         Everything a batching scheduler needs to admit requests: the
         per-sample input shape (``None`` axes free), whether the network
-        is compiled (spectra warmed), and the number of cached spectra.
+        is compiled (spectra warmed), the number of cached spectra, and —
+        for recurrent networks — that the network carries state
+        (``stateful``) and which input axis is the variable-length time
+        axis (``time_axis``), the axis the scheduler may pad when
+        length-bucketing ragged sequence requests.
         """
         cache = self.spectral_cache
         return {
@@ -247,6 +341,8 @@ class Sequential(Module):
             "compiled": cache is not None,
             "cached_spectra": len(cache) if cache is not None else 0,
             "layers": len(self.layers),
+            "stateful": self.stateful,
+            "time_axis": self.time_axis,
         }
 
     def summary(self) -> str:

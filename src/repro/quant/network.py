@@ -101,7 +101,10 @@ def _detach_spectral_state(module: Module) -> None:
         del module._spectral_cache
     if getattr(module, "spectral_cache", None) is not None:
         module.spectral_cache = None
-    for child in getattr(module, "layers", ()):
+    # Recurse through the generic child protocol — nested Sequentials
+    # *and* non-container children (the recurrent layers' gate
+    # projections each carry their own spectral_cache slot).
+    for _, child in module.named_children():
         _detach_spectral_state(child)
 
 

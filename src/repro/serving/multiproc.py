@@ -97,6 +97,8 @@ from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatcher,
     assemble_batch,
+    assemble_sequence_batch,
+    bucket_key,
     check_sample_shape,
 )
 from repro.serving.server import (
@@ -324,10 +326,11 @@ class _Inflight:
     """One dispatched batch awaiting its worker's reply."""
 
     __slots__ = ("endpoint", "generation", "items", "rows", "padded",
-                 "closed", "worker_index", "attempt", "began_at")
+                 "closed", "worker_index", "attempt", "began_at",
+                 "lengths", "time_axis")
 
     def __init__(self, endpoint, generation, items, rows, padded, closed,
-                 worker_index, attempt=1):
+                 worker_index, attempt=1, lengths=None, time_axis=None):
         self.endpoint = endpoint
         self.generation = generation
         self.items = items          # [(request, future), ...] — claimed
@@ -337,6 +340,8 @@ class _Inflight:
         self.worker_index = worker_index
         self.attempt = attempt      # 1 = first dispatch; bumped per retry
         self.began_at = None        # worker "begin" heartbeat instant
+        self.lengths = lengths      # per-request true sequence lengths
+        self.time_axis = time_axis  # sample time axis (sequence endpoints)
 
 
 class _Lane:
@@ -364,8 +369,12 @@ class MPInferenceServer:
         Number of worker processes. Each attaches the *same* shared
         images — per-worker incremental memory is page tables, not
         weights.
-    max_batch, max_wait_ms, pad_to_multiple:
+    max_batch, max_wait_ms, pad_to_multiple, bucket_multiple:
         The usual :class:`~repro.serving.scheduler.BatchPolicy` knobs.
+        ``bucket_multiple`` enables length-bucketed batching on sequence
+        endpoints (networks with a ``time_axis``): ragged requests group
+        by rounded-up padded length, are zero-padded within their bucket
+        only, and each response carries its true-length output slice.
     queue_depth:
         Bound on **unresolved** requests per endpoint — queued *and*
         dispatched-but-unanswered, so a wedged worker cannot grow an
@@ -402,6 +411,7 @@ class MPInferenceServer:
     def __init__(self, model, *, workers: int = 2, max_batch: int = 16,
                  max_wait_ms: float = 2.0,
                  pad_to_multiple: int | None = None,
+                 bucket_multiple: int | None = None,
                  queue_depth: int | None = None,
                  start_method: str = "spawn",
                  batch_gate: BatchGate | None = None,
@@ -426,6 +436,7 @@ class MPInferenceServer:
         self.policy = BatchPolicy(
             max_batch=max_batch, max_wait_ms=max_wait_ms,
             pad_to_multiple=pad_to_multiple,
+            bucket_multiple=bucket_multiple,
         )
         self.worker_count = workers
         self.queue_depth = queue_depth
@@ -867,6 +878,26 @@ class MPInferenceServer:
 
     def _dispatch(self, endpoint: str, items: list, closed: float,
                   attempt: int = 1, claimed: bool = False) -> None:
+        # Mirror of the thread server's _run_batch grouping: wildcard-axis
+        # endpoints sub-batch per concrete shape, and sequence endpoints
+        # (a declared time_axis) group by *length bucket* so ragged
+        # requests batch together, padded within their bucket only.
+        net, _ = self.registry.snapshot(endpoint)
+        time_axis = getattr(net, "time_axis", None)
+        groups: dict[tuple, list] = {}
+        for item in items:
+            key = bucket_key(
+                item[0].x.shape, time_axis, self.policy.bucket_multiple
+            )
+            groups.setdefault(key, []).append(item)
+        for group in groups.values():
+            self._dispatch_group(
+                endpoint, group, closed, time_axis, attempt, claimed
+            )
+
+    def _dispatch_group(self, endpoint: str, items: list, closed: float,
+                        time_axis: int | None, attempt: int = 1,
+                        claimed: bool = False) -> None:
         # Claim futures before any work, exactly like the thread server:
         # once RUNNING, a client cancel() can no longer race the scatter.
         # Retry redispatches (claimed=True) skip this: their futures went
@@ -884,10 +915,18 @@ class MPInferenceServer:
             return
         requests = [request for request, _ in live]
         try:
-            x, rows = assemble_batch(
-                [request.x for request in requests],
-                self.policy.pad_to_multiple,
-            )
+            if time_axis is not None:
+                x, rows, lengths = assemble_sequence_batch(
+                    [request.x for request in requests], time_axis,
+                    self.policy.bucket_multiple,
+                    self.policy.pad_to_multiple,
+                )
+            else:
+                x, rows = assemble_batch(
+                    [request.x for request in requests],
+                    self.policy.pad_to_multiple,
+                )
+                lengths = None
         except BaseException as exc:
             self._fail(endpoint, live, exc)
             return
@@ -926,6 +965,7 @@ class MPInferenceServer:
                 self._inflight[batch_id] = _Inflight(
                     endpoint, generation, live, rows, x.shape[0] - rows,
                     closed, worker.index, attempt,
+                    lengths=lengths, time_axis=time_axis,
                 )
             # The send happens OUTSIDE the server lock: a batch payload
             # can exceed the pipe buffer, and a blocking send under the
@@ -1234,11 +1274,26 @@ class MPInferenceServer:
                 ))
                 return
             done = time.monotonic()
-            for row, (request, future) in zip(y, inflight.items):
+            lengths, time_axis = inflight.lengths, inflight.time_axis
+            for index, (row, (request, future)) in enumerate(
+                zip(y, inflight.items)
+            ):
+                out = row
+                if (
+                    lengths is not None
+                    and out.ndim > time_axis
+                    and out.shape[time_axis] != lengths[index]
+                ):
+                    # Within-bucket zero padding is internal: slice the
+                    # response back to the request's true length. A model
+                    # that collapses the time axis has nothing to slice.
+                    slicer = [slice(None)] * out.ndim
+                    slicer[time_axis] = slice(0, lengths[index])
+                    out = out[tuple(slicer)]
                 future.set_result(InferenceResponse(
                     request_id=request.request_id,
                     endpoint=inflight.endpoint,
-                    y=row.copy(),
+                    y=out.copy(),
                     batch_size=inflight.rows,
                     generation=inflight.generation,
                     queued_ms=(inflight.closed - request.enqueued_at) * 1e3,

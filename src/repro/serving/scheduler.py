@@ -46,11 +46,24 @@ class BatchPolicy:
     in a window may wait for company (latency lever), and
     ``pad_to_multiple`` optionally rounds the batch axis up with zero
     rows so the spectral GEMM sees recurring shapes.
+
+    ``bucket_multiple`` is the sequence-traffic lever: on an endpoint
+    whose network declares a variable-length time axis
+    (``serving_signature()["time_axis"]``), ragged requests are grouped
+    into **length buckets** — each request's sequence length rounds up to
+    the next multiple of ``bucket_multiple``, requests sharing a rounded
+    length (and trailing sample shape) batch together, and the time axis
+    is zero-padded *within the bucket only*. A length-37 and a length-3
+    request never share a batch (no quadratic padding waste), while
+    lengths 33–40 all run as one recurring padded shape (FFT plan and
+    GEMM shape caches both like that). Harmless on fixed-shape
+    endpoints, where every request forms a single exact-shape bucket.
     """
 
     max_batch: int = 16
     max_wait_ms: float = 2.0
     pad_to_multiple: int | None = None
+    bucket_multiple: int | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -64,6 +77,10 @@ class BatchPolicy:
         if self.pad_to_multiple is not None and self.pad_to_multiple < 1:
             raise ConfigurationError(
                 f"pad_to_multiple must be >= 1, got {self.pad_to_multiple}"
+            )
+        if self.bucket_multiple is not None and self.bucket_multiple < 1:
+            raise ConfigurationError(
+                f"bucket_multiple must be >= 1, got {self.bucket_multiple}"
             )
 
 
@@ -216,6 +233,91 @@ def check_sample_shape(
             f"request sample shape {shape} does not match the endpoint's "
             f"input shape {expected} (None = any)"
         )
+
+
+def bucket_length(length: int, bucket_multiple: int | None) -> int:
+    """The padded sequence length a request of ``length`` buckets into.
+
+    Rounds up to the next multiple of ``bucket_multiple`` (identity when
+    the policy sets none). Requests sharing a bucketed length — and the
+    rest of their sample shape — are batchable together: the scheduler
+    pads their time axes to this common length, never further.
+    """
+    if bucket_multiple is None or bucket_multiple <= 1:
+        return length
+    return -(-length // bucket_multiple) * bucket_multiple
+
+
+def bucket_key(shape: tuple[int, ...], time_axis: int | None,
+               bucket_multiple: int | None) -> tuple:
+    """Grouping key for one request sample under length bucketing.
+
+    Fixed-shape endpoints (``time_axis`` is ``None``) key on the exact
+    shape — the pre-existing grouping contract. Sequence endpoints key on
+    the shape with the time axis replaced by its
+    :func:`bucket_length`-rounded value, so ragged requests land in a
+    small set of recurring padded shapes.
+    """
+    if time_axis is None or time_axis >= len(shape):
+        return tuple(shape)
+    key = list(shape)
+    key[time_axis] = bucket_length(shape[time_axis], bucket_multiple)
+    return tuple(key)
+
+
+def assemble_sequence_batch(
+    samples: list[np.ndarray], time_axis: int,
+    bucket_multiple: int | None = None,
+    pad_to_multiple: int | None = None,
+) -> tuple[np.ndarray, int, list[int]]:
+    """Stack ragged sequence samples into one zero-padded batch.
+
+    All samples must agree on every axis *except* ``time_axis`` (the
+    per-sample axis the network's ``serving_signature()`` declares
+    variable); each is zero-padded along it up to the bucket length —
+    the longest sample's length, rounded up per ``bucket_multiple``.
+    Zero padding is exact for causal recurrent networks: timesteps
+    ``t < len_i`` of the padded forward equal the unpadded forward, so
+    the caller scatters ``y[i, :len_i]`` (slicing the *output's* time
+    axis) back to request ``i`` using the returned true ``lengths``.
+
+    Returns ``(batch, rows, lengths)``; ``rows`` counts real samples
+    (the batch axis still honours ``pad_to_multiple``).
+    """
+    if not samples:
+        raise ConfigurationError(
+            "assemble_sequence_batch received no samples"
+        )
+    shapes = [np.shape(s) for s in samples]
+    first = shapes[0]
+    if time_axis >= len(first):
+        raise ShapeError(
+            f"time_axis {time_axis} out of range for sample shape {first}"
+        )
+    rest = first[:time_axis] + first[time_axis + 1:]
+    for shape in shapes[1:]:
+        if len(shape) != len(first) or (
+            shape[:time_axis] + shape[time_axis + 1:] != rest
+        ):
+            raise ShapeError(
+                f"cannot assemble a sequence batch from samples {first} "
+                f"and {shape}: all axes but the time axis ({time_axis}) "
+                "must agree"
+            )
+    lengths = [shape[time_axis] for shape in shapes]
+    padded_len = bucket_length(max(lengths), bucket_multiple)
+    rows = len(samples)
+    batch_rows = rows
+    if pad_to_multiple is not None and rows % pad_to_multiple:
+        batch_rows = -(-rows // pad_to_multiple) * pad_to_multiple
+    shape = list(first)
+    shape[time_axis] = padded_len
+    x = np.zeros((batch_rows, *shape), dtype=np.float64)
+    for i, sample in enumerate(samples):
+        index: list = [i] + [slice(None)] * len(first)
+        index[1 + time_axis] = slice(0, lengths[i])
+        x[tuple(index)] = np.asarray(sample, dtype=np.float64)
+    return x, rows, lengths
 
 
 def assemble_batch(

@@ -42,6 +42,8 @@ from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatcher,
     assemble_batch,
+    assemble_sequence_batch,
+    bucket_key,
     check_sample_shape,
 )
 
@@ -116,9 +118,13 @@ class InferenceServer:
         A :class:`~repro.serving.registry.ModelRegistry`, or a single
         network (registered under the ``"default"`` endpoint, compiled if
         it is not already).
-    max_batch, max_wait_ms, pad_to_multiple:
+    max_batch, max_wait_ms, pad_to_multiple, bucket_multiple:
         The :class:`~repro.serving.scheduler.BatchPolicy` knobs, shared by
-        every endpoint lane.
+        every endpoint lane. ``bucket_multiple`` enables length-bucketed
+        batching on sequence endpoints (networks declaring a
+        ``time_axis``): ragged requests group by rounded-up padded
+        length and are zero-padded within their bucket only, then each
+        response carries its request's true-length output slice.
     workers:
         Size of the thread pool that executes assembled batches. Safe to
         raise because compiled forwards are read-only over the cached
@@ -148,7 +154,8 @@ class InferenceServer:
 
     def __init__(self, model, *, max_batch: int = 16,
                  max_wait_ms: float = 2.0,
-                 pad_to_multiple: int | None = None, workers: int = 2,
+                 pad_to_multiple: int | None = None,
+                 bucket_multiple: int | None = None, workers: int = 2,
                  retry: RetryPolicy | None = None,
                  breaker: BreakerPolicy | None = None):
         if workers < 1:
@@ -161,6 +168,7 @@ class InferenceServer:
         self.policy = BatchPolicy(
             max_batch=max_batch, max_wait_ms=max_wait_ms,
             pad_to_multiple=pad_to_multiple,
+            bucket_multiple=bucket_multiple,
         )
         self.workers = workers
         self.retry = retry
@@ -189,6 +197,7 @@ class InferenceServer:
         self._errors = 0
         self._cancelled = 0
         self._retries = 0
+        self._padded_steps = 0
 
     # -- resilience ----------------------------------------------------------
     def breaker(self, endpoint: str = DEFAULT_ENDPOINT) -> CircuitBreaker | None:
@@ -363,13 +372,23 @@ class InferenceServer:
         # sample shapes inside one scheduling window; stack each concrete
         # shape as its own sub-batch so valid requests never fail each
         # other. Fixed-shape endpoints always form a single group.
-        groups: dict[tuple[int, ...], list] = {}
+        # Sequence endpoints (a declared ``time_axis``) group by **length
+        # bucket** instead: the time axis of the key is the request's
+        # length rounded up per ``bucket_multiple``, so ragged sequences
+        # batch together and are padded within their bucket only.
+        net, _ = self.registry.snapshot(endpoint)
+        time_axis = getattr(net, "time_axis", None)
+        groups: dict[tuple, list] = {}
         for item in items:
-            groups.setdefault(item[0].x.shape, []).append(item)
+            key = bucket_key(
+                item[0].x.shape, time_axis, self.policy.bucket_multiple
+            )
+            groups.setdefault(key, []).append(item)
         for group in groups.values():
-            self._run_group(endpoint, group, closed)
+            self._run_group(endpoint, group, closed, time_axis)
 
-    def _run_group(self, endpoint: str, items: list, closed: float) -> None:
+    def _run_group(self, endpoint: str, items: list, closed: float,
+                   time_axis: int | None = None) -> None:
         # Claim every future before doing work: a client that gave up may
         # have cancelled, and calling set_result on a cancelled future
         # raises InvalidStateError mid-scatter — stranding every later
@@ -402,10 +421,18 @@ class InferenceServer:
                 # retry lands on the freshest generation): the hot-swap
                 # atomicity contract.
                 net, generation = self.registry.snapshot(endpoint)
-                x, rows = assemble_batch(
-                    [request.x for request in requests],
-                    self.policy.pad_to_multiple,
-                )
+                if time_axis is not None:
+                    x, rows, lengths = assemble_sequence_batch(
+                        [request.x for request in requests], time_axis,
+                        self.policy.bucket_multiple,
+                        self.policy.pad_to_multiple,
+                    )
+                else:
+                    x, rows = assemble_batch(
+                        [request.x for request in requests],
+                        self.policy.pad_to_multiple,
+                    )
+                    lengths = None
                 y = np.asarray(net.inference_forward(x))[:rows]
                 if y.shape[0] != len(requests):
                     # A model that collapses the batch axis would
@@ -439,13 +466,27 @@ class InferenceServer:
                 with self._stats_lock:
                     self._retries += 1
         done = time.monotonic()
-        for row, (request, future) in zip(y, live):
+        for index, (row, (request, future)) in enumerate(zip(y, live)):
+            out = row
+            if (
+                lengths is not None
+                and out.ndim > time_axis
+                and out.shape[time_axis] != lengths[index]
+            ):
+                # Slice the response back to the request's true length:
+                # within-bucket zero padding is an internal batching
+                # detail, never visible to the client. A network that
+                # collapses the time axis (out.ndim <= time_axis) has
+                # nothing to slice — the row already is per-request.
+                slicer = [slice(None)] * out.ndim
+                slicer[time_axis] = slice(0, lengths[index])
+                out = out[tuple(slicer)]
             future.set_result(InferenceResponse(
                 request_id=request.request_id,
                 endpoint=endpoint,
                 # Copy: a view would pin the whole (padded) batch output
                 # in memory for as long as any client keeps its response.
-                y=row.copy(),
+                y=out.copy(),
                 batch_size=rows,
                 generation=generation,
                 queued_ms=(closed - request.enqueued_at) * 1e3,
@@ -456,6 +497,12 @@ class InferenceServer:
             self._batches += 1
             self._batched_rows += rows
             self._padded_rows += x.shape[0] - rows
+            if lengths is not None:
+                # Time-axis padding waste (rows x steps would conflate
+                # the two axes; this counts padded steps only).
+                self._padded_steps += sum(
+                    x.shape[1 + time_axis] - length for length in lengths
+                )
 
     def stats(self) -> dict[str, float]:
         """Serving counters (requests, batches, mean batch size, errors)."""
@@ -469,6 +516,7 @@ class InferenceServer:
                 "cancelled": self._cancelled,
                 "retries": self._retries,
                 "padded_rows": self._padded_rows,
+                "padded_steps": self._padded_steps,
                 "mean_batch_size": (
                     self._batched_rows / batches if batches else 0.0
                 ),

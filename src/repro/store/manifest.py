@@ -122,6 +122,45 @@ def _build_bc_conv(config: dict, backend):
     )
 
 
+def _describe_bc_recurrent(layer) -> dict:
+    return {
+        "in_features": layer.in_features,
+        "hidden_size": layer.hidden_size,
+        "block_size": layer.block_size,
+        "bias": getattr(layer, layer.X_GATES[0]).bias is not None,
+        "backend": _resolved_backend_name(layer),
+        # Per-gate backends: an applied ExecutionPlan configures each gate
+        # projection independently, and the zero-FFT load path must
+        # rebuild every gate on the backend its stored spectrum was
+        # derived with (load_artifact seeds spectra by backend name).
+        "gate_backends": {
+            name: _resolved_backend_name(gate)
+            for name, gate in layer.named_children()
+        },
+    }
+
+
+def _build_bc_recurrent(cls_name: str):
+    def build(config: dict, backend):
+        from repro.nn import recurrent
+
+        cls = getattr(recurrent, cls_name)
+        layer = cls(
+            config["in_features"], config["hidden_size"],
+            config["block_size"], bias=config["bias"],
+            backend=backend if backend is not None else config["backend"],
+            init="zeros",
+        )
+        if backend is None:
+            for name, gate_backend in config.get(
+                "gate_backends", {}
+            ).items():
+                getattr(layer, name).backend = gate_backend
+        return layer
+
+    return build
+
+
 def _describe_dense(layer) -> dict:
     return {
         "in_features": layer.in_features,
@@ -182,6 +221,7 @@ def _spec_registry() -> dict:
     from repro.nn.block_circulant_dense import BlockCirculantDense
     from repro.nn.conv import Conv2D
     from repro.nn.dense import Dense
+    from repro.nn.recurrent import BlockCirculantGRU, BlockCirculantLSTM
     from repro.quant.network import ActivationQuantizer
 
     return {
@@ -189,6 +229,10 @@ def _spec_registry() -> dict:
                               _describe_bc_dense, _build_bc_dense),
         BlockCirculantConv2D: ("BlockCirculantConv2D",
                                _describe_bc_conv, _build_bc_conv),
+        BlockCirculantLSTM: ("BlockCirculantLSTM", _describe_bc_recurrent,
+                             _build_bc_recurrent("BlockCirculantLSTM")),
+        BlockCirculantGRU: ("BlockCirculantGRU", _describe_bc_recurrent,
+                            _build_bc_recurrent("BlockCirculantGRU")),
         Dense: ("Dense", _describe_dense, _build_dense),
         Conv2D: ("Conv2D", _describe_conv, _build_conv),
         activations.ReLU: ("ReLU", lambda _: {},
